@@ -1,0 +1,437 @@
+// dfbench regenerates every experiment of the reproduction (E1–E14 in
+// DESIGN.md): for each figure and quantitative claim of the paper it runs
+// the corresponding workload and prints a table of paper-claim versus
+// measured value. EXPERIMENTS.md is the archived output of this tool with
+// commentary.
+//
+// Usage:
+//
+//	dfbench [-quick] [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"staticpipe/internal/balance"
+	"staticpipe/internal/core"
+	"staticpipe/internal/exec"
+	"staticpipe/internal/forall"
+	"staticpipe/internal/foriter"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/machine"
+	"staticpipe/internal/progs"
+	"staticpipe/internal/recurrence"
+	"staticpipe/internal/value"
+)
+
+var (
+	quick = flag.Bool("quick", false, "smaller problem sizes")
+	only  = flag.String("only", "", "run a single experiment, e.g. E7")
+)
+
+func main() {
+	flag.Parse()
+	experiments := []struct {
+		id, title string
+		run       func(size int)
+		size      int
+		quickSize int
+	}{
+		{"E1", "Fig 2: scalar pipeline at the maximum rate", e1, 1024, 128},
+		{"E2", "§3: rate independent of stage count", e2, 512, 64},
+		{"E3", "Fig 4: gated array selection", e3, 1024, 128},
+		{"E4", "Fig 5: pipelined conditional", e4, 1024, 128},
+		{"E5", "Fig 6 / Example 1: primitive forall (Theorem 2)", e5, 1024, 128},
+		{"E6", "Fig 7: Todd's for-iter scheme (rate 1/3)", e6, 1024, 128},
+		{"E7", "Fig 8: companion scheme (Theorem 3, rate 1/2)", e7, 1024, 128},
+		{"E8", "Fig 3: composed pipe-structured program (Theorem 4)", e8, 1024, 128},
+		{"E9", "§8: balancing time and optimal buffering", e9, 1000, 200},
+		{"E10", "§9: delay-for-rate interleaved recurrences", e10, 256, 64},
+		{"E11", "§7: companion tree of log₂(p) levels", e11, 0, 0},
+		{"E12", "§2: array-memory packet fraction ≤ 1/8", e12, 64, 32},
+		{"E13", "machine-level throughput vs PE count", e13, 128, 48},
+		{"E14", "§6: forall pipeline vs parallel scheme", e14, 48, 24},
+		{"E15", "§9 extension: two-dimensional arrays", e15, 24, 12},
+		{"E16", "ablations: control realization, network, placement", e16, 64, 24},
+		{"E17", "ablation: common-cell elimination", e17, 256, 64},
+	}
+	for _, e := range experiments {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		size := e.size
+		if *quick {
+			size = e.quickSize
+		}
+		fmt.Printf("=== %s — %s ===\n", e.id, e.title)
+		start := time.Now()
+		e.run(size)
+		fmt.Printf("(%.2fs)\n\n", time.Since(start).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// run compiles and runs a program, returning the result.
+func run(p progs.Program, opts core.Options) (*core.Unit, *core.RunResult) {
+	u, err := core.Compile(p.Source, opts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := u.Run(p.Inputs)
+	if err != nil {
+		fatal(err)
+	}
+	return u, res
+}
+
+func e1(n int) {
+	p := progs.Fig2(n)
+	_, res := run(p, core.Options{})
+	fmt.Printf("  %-34s paper: II = 2      measured: II = %.3f over %d results\n",
+		"fully pipelined scalar pipe", res.II(p.Output), n)
+}
+
+func e2(n int) {
+	fmt.Printf("  paper: \"the computation rate of a pipeline is not dependent on the number of stages\"\n")
+	fmt.Printf("  %8s  %14s  %10s\n", "stages", "II (cycles)", "latency")
+	for _, stages := range []int{4, 16, 64, 256} {
+		g := graph.New()
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		prev := g.AddSource("in", value.Reals(vals))
+		for s := 0; s < stages; s++ {
+			id := g.Add(graph.OpID, "")
+			g.Connect(prev, id, 0)
+			prev = id
+		}
+		g.Connect(prev, g.AddSink("out"), 0)
+		res, err := exec.Run(g, exec.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %8d  %14.3f  %10d\n", stages, res.II("out"), res.Arrivals["out"][0].Cycle)
+	}
+}
+
+func e3(m int) {
+	p := progs.Fig4(m)
+	_, bal := run(p, core.Options{})
+	_, unbal := run(p, core.Options{NoBalance: true})
+	fmt.Printf("  paper: selection + FIFO skew buffers give full pipelining\n")
+	fmt.Printf("  %-12s  II = %.3f\n", "balanced", bal.II(p.Output))
+	fmt.Printf("  %-12s  II = %.3f\n", "unbalanced", unbal.II(p.Output))
+}
+
+func e4(n int) {
+	p := progs.Fig5(n)
+	_, bal := run(p, core.Options{})
+	_, unbal := run(p, core.Options{NoBalance: true})
+	fmt.Printf("  paper: gated arms + MERGE, \"fully pipelined ... only if all paths are of equal length\"\n")
+	fmt.Printf("  %-12s  II = %.3f\n", "balanced", bal.II(p.Output))
+	fmt.Printf("  %-12s  II = %.3f\n", "unbalanced", unbal.II(p.Output))
+}
+
+func e5(m int) {
+	p := progs.Example1(m)
+	u, res := run(p, core.Options{})
+	stats := u.Compiled.Graph.ComputeStats()
+	fmt.Printf("  paper (Theorem 2): every primitive forall is fully pipelined\n")
+	fmt.Printf("  m=%d: II = %.3f, cells = %d (buffer stages %d)\n",
+		m, res.II(p.Output), stats.Cells, stats.BufferUnits)
+	if err := u.Validate(p.Inputs, 1e-9); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  outputs match the reference interpreter\n")
+}
+
+func e6(m int) {
+	p := progs.Example2(m)
+	_, res := run(p, core.Options{ForIterScheme: foriter.Todd})
+	fmt.Printf("  paper: \"the initialization rate of the pipeline can not be higher than 1/3\"\n")
+	fmt.Printf("  Todd scheme: II = %.3f (rate %.3f)\n", res.II(p.Output), 1/res.II(p.Output))
+}
+
+func e7(m int) {
+	p := progs.Example2(m)
+	_, todd := run(p, core.Options{ForIterScheme: foriter.Todd})
+	u, comp := run(p, core.Options{ForIterScheme: foriter.Companion})
+	fmt.Printf("  paper (Theorem 3): the companion pipeline restores the maximum rate\n")
+	fmt.Printf("  %-12s  II = %.3f\n", "todd", todd.II(p.Output))
+	fmt.Printf("  %-12s  II = %.3f\n", "companion", comp.II(p.Output))
+	fmt.Printf("  speedup %.2fx\n", todd.II(p.Output)/comp.II(p.Output))
+	if err := u.Validate(p.Inputs, 1e-9); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  outputs match the reference interpreter (within FP reassociation)\n")
+}
+
+func e8(m int) {
+	p := progs.Fig3(m)
+	u, res := run(p, core.Options{})
+	pred, err := u.PredictII()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  paper (Theorem 4): the composed program is fully pipelined\n")
+	fmt.Printf("  end-to-end II = %.3f, predicted %s\n", res.II(p.Output), pred)
+	for _, blk := range u.Compiled.Blocks {
+		fmt.Printf("  block %-4s %-8s scheme=%s\n", blk.Name, blk.Form, blk.Scheme)
+	}
+}
+
+func e9(n int) {
+	fmt.Printf("  paper (§8): balancing is polynomial; optimum buffering = LP dual of min-cost flow\n")
+	fmt.Printf("  %8s  %16s  %16s  %12s\n", "cells", "naive buffers", "optimal buffers", "reduction")
+	for _, size := range []int{n / 8, n / 4, n} {
+		rng := rand.New(rand.NewSource(9))
+		var cons []balance.Constraint
+		for u := 0; u < size; u++ {
+			for k := 0; k < 3; k++ {
+				v := u + 1 + rng.Intn(size-u)
+				if v < size {
+					cons = append(cons, balance.Constraint{U: u, V: v, W: 1})
+				}
+			}
+		}
+		naive, err := balance.Naive(size, cons)
+		if err != nil {
+			fatal(err)
+		}
+		opt, err := balance.Solve(size, cons)
+		if err != nil {
+			fatal(err)
+		}
+		nb, ob := balance.TotalSlack(cons, naive), balance.TotalSlack(cons, opt)
+		fmt.Printf("  %8d  %16d  %16d  %11.1f%%\n", size, nb, ob, 100*float64(nb-ob)/float64(nb))
+	}
+}
+
+func e10(n int) {
+	fmt.Printf("  paper (§9): a FIFO delay restores the maximum rate for interleaved recurrences\n")
+	fmt.Printf("  %8s  %12s  %14s\n", "rows", "FIFO stages", "II (cycles)")
+	for _, rows := range []int{2, 4, 8, 16} {
+		g := graph.New()
+		av := make([]value.Value, rows*n)
+		bv := make([]value.Value, rows*n)
+		for j := range av {
+			av[j] = value.R(0.6)
+			bv[j] = value.R(float64(j%5) - 2)
+		}
+		out, err := foriter.InterleavedLinear(g, "x", rows, n,
+			g.AddSource("a", av), g.AddSource("b", bv),
+			value.Reals(make([]float64, rows)))
+		if err != nil {
+			fatal(err)
+		}
+		g.Connect(out, g.AddSink("x"), 0)
+		res, err := exec.Run(g, exec.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %8d  %12d  %14.3f\n", rows, 2*rows-3, res.II("x"))
+	}
+}
+
+func e11(int) {
+	fmt.Printf("  paper (§7): G is associative, so a log2(p)-level companion tree suffices\n")
+	fmt.Printf("  %8s  %12s  %14s\n", "p", "tree levels", "linear levels")
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []int{2, 4, 8, 16} {
+		ps := make([]recurrence.Param, p)
+		for i := range ps {
+			ps[i] = recurrence.Param{A: rng.Float64(), B: rng.Float64()}
+		}
+		tree := recurrence.ComposeTree(ps)
+		fold := ps[0]
+		for i := 1; i < p; i++ {
+			fold = recurrence.G(ps[i], fold)
+		}
+		agree := "agree"
+		if !value.Close(value.R(tree.A), value.R(fold.A), 1e-9) ||
+			!value.Close(value.R(tree.B), value.R(fold.B), 1e-9) {
+			agree = "DIFFER"
+		}
+		fmt.Printf("  %8d  %12d  %14d  (tree and fold %s)\n",
+			p, recurrence.TreeDepth(p), p-1, agree)
+	}
+}
+
+func e12(m int) {
+	src := fmt.Sprintf(`
+param m = %d;
+input B : array[real] [0, m+1];
+input C : array[real] [0, m+1];
+A : array[real] :=
+  forall i in [0, m+1]
+    P : real := if (i = 0) | (i = m+1) then C[i]
+                else 0.25 * (C[i-1] + 2.*C[i] + C[i+1]) endif;
+    Q : real := P*P + 0.5*P + 1.;
+    S : real := Q*Q - P*Q + 2.*P;
+  construct B[i]*(S*S) + Q
+  endall;
+output A;
+`, m)
+	u, err := core.Compile(src, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	bs := make([]value.Value, m+2)
+	cs := make([]value.Value, m+2)
+	for i := range bs {
+		bs[i] = value.R(1)
+		cs[i] = value.R(float64(i))
+	}
+	if err := u.Compiled.SetInputs(map[string][]value.Value{"B": bs, "C": cs}); err != nil {
+		fatal(err)
+	}
+	res, err := machine.Run(u.Compiled.Graph, machine.Config{PEs: 8, AMs: 2})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  paper: \"one eighth or less of the operation packets would be sent to the array memories\"\n")
+	fmt.Printf("  measured AM fraction: %.4f of %d packets (result %d, ack %d, operation %d)\n",
+		res.AMFraction(), res.TotalPackets,
+		res.Packets["result"], res.Packets["ack"], res.Packets["operation"])
+}
+
+func e13(m int) {
+	p := progs.Fig3(m)
+	u, err := core.Compile(p.Source, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if err := u.Compiled.SetInputs(p.Inputs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  machine-level makespan of the Fig 3 program (crossbar network, 4 AMs)\n")
+	fmt.Printf("  %8s  %14s  %14s\n", "PEs", "cycles", "PE util")
+	for _, pes := range []int{1, 2, 4, 8, 16, 32} {
+		res, err := machine.Run(u.Compiled.Graph, machine.Config{PEs: pes, AMs: 4})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %8d  %14d  %13.1f%%\n", pes, res.Cycles, 100*res.Utilization())
+	}
+}
+
+func e15(m int) {
+	src := fmt.Sprintf(`
+param m = %d;
+param n = %d;
+input U : array2[real] [0, m+1][0, n+1];
+V : array2[real] :=
+  forall i in [0, m+1], j in [0, n+1]
+  construct if (i = 0) | (i = m+1) | (j = 0) | (j = n+1)
+            then U[i, j]
+            else 0.25 * (U[i-1, j] + U[i+1, j] + U[i, j-1] + U[i, j+1])
+            endif
+  endall;
+output V;
+`, m, m)
+	u, err := core.Compile(src, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	side := m + 2
+	us := make([]value.Value, side*side)
+	for i := range us {
+		us[i] = value.R(float64(i%7) / 7)
+	}
+	inputs := map[string][]value.Value{"U": us}
+	if err := u.Validate(inputs, 1e-12); err != nil {
+		fatal(err)
+	}
+	res, err := u.Run(inputs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  paper (§9): \"the extension ... to array values of multiple dimension is straightforward\"\n")
+	fmt.Printf("  %dx%d five-point Jacobi sweep: II = %.3f, matches the interpreter\n",
+		side, side, res.II("V"))
+}
+
+func e16(m int) {
+	p := progs.Example1(m)
+	fmt.Printf("  control-stream realization (Example 1, m=%d):\n", m)
+	for _, s := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"idealized generators", core.Options{}},
+		{"literal counter subgraphs", core.Options{LiteralControl: true}},
+	} {
+		u, res := run(p, s.opt)
+		fmt.Printf("    %-26s cells=%4d  II=%.3f\n", s.name,
+			u.Compiled.Graph.ComputeStats().Cells, res.II(p.Output))
+	}
+
+	fp := progs.Fig3(m)
+	uu, err := core.Compile(fp.Source, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if err := uu.Compiled.SetInputs(fp.Inputs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  routing network (Fig 3, 8 PEs):\n")
+	for _, nk := range []machine.NetworkKind{machine.Crossbar, machine.Butterfly} {
+		res, err := machine.Run(uu.Compiled.Graph, machine.Config{PEs: 8, AMs: 4, Network: nk})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("    %-26s cycles=%5d\n", nk, res.Cycles)
+	}
+	fmt.Printf("  cell placement (Fig 3, 8 PEs, crossbar):\n")
+	for _, as := range []machine.Assignment{machine.RoundRobin, machine.Random, machine.ByStage} {
+		res, err := machine.Run(uu.Compiled.Graph, machine.Config{PEs: 8, AMs: 4, Assign: as, Seed: 5})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("    %-26s cycles=%5d\n", as, res.Cycles)
+	}
+}
+
+func e17(m int) {
+	p := progs.Fig3(m)
+	fmt.Printf("  hash-consing duplicate cells (Fig 3, m=%d):\n", m)
+	for _, s := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"plain", core.Options{}},
+		{"dedup", core.Options{Dedup: true}},
+	} {
+		u, res := run(p, s.opt)
+		fmt.Printf("    %-8s cells=%3d (removed %d)  II=%.3f\n", s.name,
+			u.Compiled.Graph.ComputeStats().Cells, u.Compiled.Deduped, res.II(p.Output))
+	}
+	fmt.Printf("  (sharing generators across the loop boundary costs rate; see EXPERIMENTS.md)\n")
+}
+
+func e14(m int) {
+	p := progs.Example1(m)
+	fmt.Printf("  paper (§6): the parallel scheme replicates the body per element\n")
+	fmt.Printf("  %-10s  %8s  %12s\n", "scheme", "cells", "II (cycles)")
+	for _, s := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"pipeline", core.Options{ForallScheme: forall.Pipeline}},
+		{"parallel", core.Options{ForallScheme: forall.Parallel}},
+	} {
+		u, res := run(p, s.opt)
+		fmt.Printf("  %-10s  %8d  %12.3f\n", s.name,
+			u.Compiled.Graph.ComputeStats().Cells, res.II(p.Output))
+	}
+}

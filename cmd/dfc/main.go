@@ -1,0 +1,127 @@
+// dfc is the pipe-structured Val compiler: it translates a .val program
+// into a balanced machine-level dataflow instruction graph and prints a
+// compile report, the cell listing, or Graphviz renderings of the
+// instruction graph and the block-level flow dependency graph.
+//
+// Usage:
+//
+//	dfc [flags] program.val
+//	dfc [flags] < program.val
+//
+// Flags:
+//
+//	-report        print the compile report (default)
+//	-list          print the instruction-cell listing
+//	-dot           print the instruction graph in Graphviz syntax
+//	-flow          print the flow dependency graph in Graphviz syntax
+//	-todd          use Todd's for-iter scheme instead of the companion scheme
+//	-parallel      use the parallel forall scheme instead of the pipeline scheme
+//	-literal-ctl   generate control streams from literal instruction cells
+//	-no-balance    skip balancing
+//	-naive-balance use longest-path leveling instead of optimal balancing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"staticpipe/internal/core"
+	"staticpipe/internal/forall"
+	"staticpipe/internal/foriter"
+	"staticpipe/internal/pipestruct"
+	"staticpipe/internal/progs"
+	"staticpipe/internal/value"
+)
+
+func main() {
+	var (
+		report   = flag.Bool("report", false, "print the compile report (default)")
+		list     = flag.Bool("list", false, "print the instruction-cell listing")
+		dot      = flag.Bool("dot", false, "print the instruction graph as Graphviz dot")
+		flow     = flag.Bool("flow", false, "print the flow dependency graph as Graphviz dot")
+		todd     = flag.Bool("todd", false, "use Todd's for-iter scheme")
+		parallel = flag.Bool("parallel", false, "use the parallel forall scheme")
+		litCtl   = flag.Bool("literal-ctl", false, "literal control-stream subgraphs")
+		noBal    = flag.Bool("no-balance", false, "skip balancing")
+		naiveBal = flag.Bool("naive-balance", false, "longest-path leveling")
+		dedup    = flag.Bool("dedup", false, "common-cell elimination before balancing")
+		emit     = flag.String("emit", "", "write the loadable instruction graph to this file (run it with dfsim -graph)")
+		fill     = flag.String("fill", "ramp", "input data baked into an emitted graph: ramp | sin | const | alt")
+	)
+	flag.Parse()
+
+	src, err := readSource(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		LiteralControl: *litCtl,
+		NoBalance:      *noBal,
+		NaiveBalance:   *naiveBal,
+		Dedup:          *dedup,
+	}
+	if *todd {
+		opts.ForIterScheme = foriter.Todd
+	}
+	if *parallel {
+		opts.ForallScheme = forall.Parallel
+	}
+	u, err := core.Compile(src, opts)
+	if err != nil {
+		fatal(err)
+	}
+	printed := false
+	if *emit != "" {
+		inputs := map[string][]value.Value{}
+		for _, in := range u.Checked.Inputs {
+			inputs[in.Name] = progs.Synth(*fill, in.Len())
+		}
+		if err := u.Compiled.SetInputs(inputs); err != nil {
+			fatal(err)
+		}
+		data, err := u.Compiled.Graph.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*emit, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d cells, inputs filled with %q data)\n",
+			*emit, u.Compiled.Graph.NumNodes(), *fill)
+		printed = true
+	}
+	if *flow {
+		fmt.Print(pipestruct.FlowDOT(u.Checked))
+		printed = true
+	}
+	if *dot {
+		fmt.Print(u.Compiled.Graph.DOT("program"))
+		printed = true
+	}
+	if *list {
+		fmt.Print(u.Compiled.Graph.String())
+		printed = true
+	}
+	if *report || !printed {
+		fmt.Print(u.Report())
+	}
+}
+
+func readSource(args []string) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("dfc: expected at most one source file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		data, err := os.ReadFile(args[0])
+		return string(data), err
+	}
+	data, err := io.ReadAll(os.Stdin)
+	return string(data), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,199 @@
+// dfsim compiles a pipe-structured Val program and executes it, either on
+// the firing-rule simulator (default) or on the cycle-accurate packet-level
+// machine (-machine). Input arrays are filled synthetically (-fill) since
+// the simulator is a study tool, not a numerical library.
+//
+// Usage:
+//
+//	dfsim [flags] program.val
+//
+// Flags:
+//
+//	-fill kind     input data: ramp | sin | const | alt (default ramp)
+//	-print n       print at most n elements per output (default 8; 0 = all)
+//	-machine       run on the packet-level machine
+//	-pes n         machine PEs (default 4)
+//	-fus n         machine function units (default 2)
+//	-ams n         machine array memories (default 2)
+//	-butterfly     use the butterfly routing network
+//	-todd          use Todd's for-iter scheme
+//	-no-balance    skip balancing
+//	-verify        cross-check against the reference interpreter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"staticpipe/internal/core"
+	"staticpipe/internal/exec"
+	"staticpipe/internal/foriter"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/machine"
+	"staticpipe/internal/progs"
+	"staticpipe/internal/value"
+)
+
+func main() {
+	var (
+		fill      = flag.String("fill", "ramp", "input data: ramp | sin | const | alt")
+		printN    = flag.Int("print", 8, "max elements printed per output (0 = all)")
+		useMach   = flag.Bool("machine", false, "run on the packet-level machine")
+		pes       = flag.Int("pes", 4, "machine processing elements")
+		fus       = flag.Int("fus", 2, "machine function units")
+		ams       = flag.Int("ams", 2, "machine array memories")
+		butterfly = flag.Bool("butterfly", false, "butterfly routing network")
+		todd      = flag.Bool("todd", false, "Todd's for-iter scheme")
+		noBal     = flag.Bool("no-balance", false, "skip balancing")
+		verify    = flag.Bool("verify", false, "cross-check against the interpreter")
+		graphFile = flag.Bool("graph", false, "the argument is a serialized instruction graph (dfc -emit), not Val source")
+		waterfall = flag.Bool("waterfall", false, "print a cell-by-cycle firing chart (use small inputs)")
+	)
+	flag.Parse()
+
+	if *graphFile {
+		if len(flag.Args()) != 1 {
+			fatal(fmt.Errorf("dfsim -graph needs exactly one graph file"))
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		g, err := graph.Unmarshal(data)
+		if err != nil {
+			fatal(err)
+		}
+		if *useMach {
+			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams}
+			if *butterfly {
+				cfg.Network = machine.Butterfly
+			}
+			res, err := machine.Run(g, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(machine.Describe(res))
+			printOutputs(res.Outputs, *printN)
+			return
+		}
+		res, err := exec.Run(g, exec.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(exec.Describe(res))
+		printOutputs(res.Outputs, *printN)
+		return
+	}
+
+	src, err := readSource(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{NoBalance: *noBal}
+	if *todd {
+		opts.ForIterScheme = foriter.Todd
+	}
+	u, err := core.Compile(src, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	inputs := map[string][]value.Value{}
+	for _, in := range u.Checked.Inputs {
+		inputs[in.Name] = progs.Synth(*fill, in.Len())
+	}
+
+	if *verify {
+		if err := u.Validate(inputs, 1e-9); err != nil {
+			fatal(fmt.Errorf("verification failed: %w", err))
+		}
+		fmt.Println("verified: compiled graph matches the reference interpreter")
+	}
+
+	if *useMach {
+		if err := u.Compiled.SetInputs(inputs); err != nil {
+			fatal(err)
+		}
+		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams}
+		if *butterfly {
+			cfg.Network = machine.Butterfly
+		}
+		res, err := machine.Run(u.Compiled.Graph, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(machine.Describe(res))
+		printOutputs(res.Outputs, *printN)
+		return
+	}
+
+	if *waterfall {
+		if err := u.Compiled.SetInputs(inputs); err != nil {
+			fatal(err)
+		}
+		chart, err := exec.Waterfall(u.Compiled.Graph, exec.Options{}, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(chart)
+		return
+	}
+
+	res, err := u.Run(inputs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(exec.Describe(res.Exec))
+	byName := map[string][]value.Value{}
+	for name, arr := range res.Outputs {
+		byName[name] = arr.Elems
+	}
+	printOutputs(byName, *printN)
+}
+
+func printOutputs(outputs map[string][]value.Value, limit int) {
+	names := make([]string, 0, len(outputs))
+	for name := range outputs {
+		if len(name) >= 8 && name[:8] == "discard:" {
+			continue // internal drains of unconsumed streams
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vals := outputs[name]
+		n := len(vals)
+		shown := n
+		if limit > 0 && shown > limit {
+			shown = limit
+		}
+		fmt.Printf("%s (%d elements):", name, n)
+		for i := 0; i < shown; i++ {
+			fmt.Printf(" %v", vals[i])
+		}
+		if shown < n {
+			fmt.Printf(" ...")
+		}
+		fmt.Println()
+	}
+}
+
+func readSource(args []string) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("dfsim: expected at most one source file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		data, err := os.ReadFile(args[0])
+		return string(data), err
+	}
+	data, err := io.ReadAll(os.Stdin)
+	return string(data), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

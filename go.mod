@@ -1,0 +1,3 @@
+module staticpipe
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package core assembles the paper's contribution end to end: it compiles
+// a pipe-structured Val program into a fully pipelined static dataflow
+// instruction graph (Theorems 1–4) and runs it on the firing-rule
+// simulator, with the reference interpreter available for validation.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"staticpipe/internal/exec"
+	"staticpipe/internal/forall"
+	"staticpipe/internal/foriter"
+	"staticpipe/internal/mcm"
+	"staticpipe/internal/pe"
+	"staticpipe/internal/pipestruct"
+	"staticpipe/internal/val"
+	"staticpipe/internal/value"
+)
+
+// Options selects compilation strategies. The zero value is the paper's
+// recommended configuration: pipeline-scheme foralls, companion-scheme
+// for-iters where a companion function exists, idealized control
+// generators, optimal balancing.
+type Options struct {
+	// ForallScheme: forall.Pipeline (default) or forall.Parallel.
+	ForallScheme forall.Scheme
+	// ForIterScheme: foriter.Auto (default), foriter.Todd, or
+	// foriter.Companion.
+	ForIterScheme foriter.Scheme
+	// LiteralControl realizes boolean control streams as literal
+	// instruction subgraphs instead of idealized generator cells.
+	LiteralControl bool
+	// NoBalance skips balancing; NaiveBalance uses longest-path leveling
+	// instead of the optimal min-cost-flow balancer.
+	NoBalance    bool
+	NaiveBalance bool
+	// Dedup runs common-cell elimination before balancing.
+	Dedup bool
+	// ArmSlack pads data-dependent conditional arms with elasticity FIFOs
+	// of this many stages (see pe.Options.ArmSlack).
+	ArmSlack int
+	// MaxCycles bounds simulation runs (0 = exec.DefaultMaxCycles).
+	MaxCycles int
+}
+
+// Unit is a compiled pipe-structured program.
+type Unit struct {
+	Source   string
+	Checked  *val.Checked
+	Compiled *pipestruct.Result
+	opts     Options
+}
+
+// Compile parses, checks, and compiles a pipe-structured Val program.
+func Compile(src string, opts Options) (*Unit, error) {
+	prog, err := val.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := val.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := pipestruct.Compile(checked, pipestruct.Options{
+		ForallScheme:  opts.ForallScheme,
+		ForIterScheme: opts.ForIterScheme,
+		PE:            pe.Options{LiteralControl: opts.LiteralControl, ArmSlack: opts.ArmSlack},
+		NoBalance:     opts.NoBalance,
+		NaiveBalance:  opts.NaiveBalance,
+		Dedup:         opts.Dedup,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Source: src, Checked: checked, Compiled: compiled, opts: opts}, nil
+}
+
+// RunResult holds a machine-level run's outcome.
+type RunResult struct {
+	// Outputs holds each output array (with its declared index range).
+	Outputs map[string]*val.ArrayVal
+	// Exec is the underlying simulation result (timing, firings,
+	// initiation intervals).
+	Exec *exec.Result
+}
+
+// II returns the steady-state initiation interval observed at the named
+// output.
+func (r *RunResult) II(name string) float64 { return r.Exec.II(name) }
+
+// Run binds the input streams and simulates the compiled graph. Units are
+// not safe for concurrent runs (input streams bind to the shared graph).
+func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
+	if err := u.Compiled.SetInputs(inputs); err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(u.Compiled.Graph, exec.Options{MaxCycles: u.opts.MaxCycles})
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: res}
+	for name, rng := range u.Compiled.Outputs {
+		elems := res.Output(name)
+		if len(elems) != rng.Len() {
+			return nil, fmt.Errorf("core: output %s produced %d of %d elements (pipeline stalled?)\n%s",
+				name, len(elems), rng.Len(), exec.Describe(res))
+		}
+		out.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: elems, Lo2: rng.Lo2, W: rng.Width()}
+	}
+	return out, nil
+}
+
+// Reference evaluates the program with the direct AST interpreter — the
+// semantic baseline compiled graphs are validated against.
+func (u *Unit) Reference(inputs map[string][]value.Value) (map[string]*val.ArrayVal, error) {
+	return val.Interp(u.Checked, inputs)
+}
+
+// PredictII returns the analytically predicted initiation interval of the
+// compiled graph (maximum cycle ratio of its timing constraints).
+func (u *Unit) PredictII() (mcm.Result, error) {
+	return mcm.PredictII(u.Compiled.Graph)
+}
+
+// Report renders a compile report: block table, cell statistics, buffering
+// cost, and the predicted initiation interval.
+func (u *Unit) Report() string {
+	var b strings.Builder
+	stats := u.Compiled.Graph.ComputeStats()
+	fmt.Fprintf(&b, "blocks:\n")
+	for _, blk := range u.Compiled.Blocks {
+		fmt.Fprintf(&b, "  %-12s %-8s scheme=%-9s", blk.Name, blk.Form, blk.Scheme)
+		if blk.Kind != "" {
+			fmt.Fprintf(&b, " recurrence=%s", blk.Kind)
+		}
+		fmt.Fprintf(&b, " range=[%d, %d]\n", blk.Lo, blk.Hi)
+	}
+	fmt.Fprintf(&b, "cells: %d (%d buffer cells, %d buffer stages)\n",
+		stats.Cells, stats.BufferCells, stats.BufferUnits)
+	fmt.Fprintf(&b, "arcs:  %d\n", stats.Arcs)
+	ops := make([]string, 0, len(stats.ByOp))
+	for op, n := range stats.ByOp {
+		ops = append(ops, fmt.Sprintf("%s:%d", op, n))
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(&b, "by op: %s\n", strings.Join(ops, " "))
+	if u.Compiled.Deduped > 0 {
+		fmt.Fprintf(&b, "dedup: %d duplicate cells removed\n", u.Compiled.Deduped)
+	}
+	if u.Compiled.Plan != nil {
+		fmt.Fprintf(&b, "balancing: %d buffer stages inserted\n", u.Compiled.Plan.Total)
+	} else {
+		fmt.Fprintf(&b, "balancing: skipped\n")
+	}
+	if pred, err := u.PredictII(); err == nil {
+		fmt.Fprintf(&b, "predicted %s\n", pred)
+	} else {
+		fmt.Fprintf(&b, "prediction failed: %v\n", err)
+	}
+	return b.String()
+}
+
+// Validate runs the compiled graph against the reference interpreter on
+// the given inputs and reports the first mismatch (nil if all outputs
+// agree within tol).
+func (u *Unit) Validate(inputs map[string][]value.Value, tol float64) error {
+	got, err := u.Run(inputs)
+	if err != nil {
+		return err
+	}
+	want, err := u.Reference(inputs)
+	if err != nil {
+		return err
+	}
+	for name, w := range want {
+		g, ok := got.Outputs[name]
+		if !ok {
+			return fmt.Errorf("core: output %s missing from run", name)
+		}
+		if g.Lo != w.Lo || len(g.Elems) != len(w.Elems) {
+			return fmt.Errorf("core: output %s range [%d..+%d] vs reference [%d..+%d]",
+				name, g.Lo, len(g.Elems), w.Lo, len(w.Elems))
+		}
+		for i := range w.Elems {
+			if !value.Close(g.Elems[i], w.Elems[i], tol) {
+				return fmt.Errorf("core: output %s[%d] = %v, reference %v",
+					name, w.Lo+int64(i), g.Elems[i], w.Elems[i])
+			}
+		}
+	}
+	return nil
+}

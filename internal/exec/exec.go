@@ -1,0 +1,471 @@
+// Package exec simulates machine-level instruction graphs at the level of
+// the static dataflow firing discipline (Dennis & Gao, CSG Memo 233, §3).
+//
+// Time is discrete. At each cycle every enabled cell fires simultaneously:
+// it consumes the tokens on its operand arcs and the results appear on its
+// destination arcs one cycle later. A cell is enabled when all required
+// operands are present AND every destination arc it is about to write is
+// empty — the emptiness condition is the acknowledge discipline (an arc is
+// emptied exactly when its consumer fires, which is when the acknowledge
+// packet would arrive).
+//
+// This model makes the paper's timing facts theorems of the simulator:
+//
+//   - a producer/consumer pair alternates, so each cell fires at most once
+//     per two cycles ("about two instruction times");
+//   - a fully pipelined graph sustains an initiation interval (II) of 2;
+//   - a directed cycle of L cells carrying k tokens runs at II = L/k
+//     (Todd's 3-cell for-iter loop: II = 3; the companion-function 4-cell
+//     loop with two circulating values: II = 2).
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"staticpipe/internal/graph"
+	"staticpipe/internal/value"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// MaxCycles bounds the run; 0 means DefaultMaxCycles. Exceeding the
+	// bound returns an error (a live graph fed finite streams always
+	// quiesces, so hitting the bound indicates a livelock or a bound that
+	// is simply too small for the stream length).
+	MaxCycles int
+	// Trace, if non-nil, receives one line per firing (debugging aid).
+	Trace func(cycle int, node *graph.Node, out value.Value)
+}
+
+// DefaultMaxCycles bounds runs when Options.MaxCycles is zero.
+const DefaultMaxCycles = 10_000_000
+
+// Arrival records one value reaching a sink and the cycle it arrived.
+type Arrival struct {
+	Cycle int
+	Val   value.Value
+}
+
+// Result holds the outcome of a simulation run.
+type Result struct {
+	// Cycles is the cycle count until quiescence (no cell enabled).
+	Cycles int
+	// Firings counts how many times each cell fired, indexed by NodeID of
+	// the simulated (FIFO-expanded) graph.
+	Firings []int
+	// Outputs holds each sink's received stream, keyed by sink label.
+	Outputs map[string][]value.Value
+	// Arrivals holds each sink's arrival times, keyed by sink label.
+	Arrivals map[string][]Arrival
+	// Clean reports whether the graph drained completely: all sources
+	// exhausted, no token left on any arc. A false value with non-empty
+	// Stalled means the pipeline jammed or starved.
+	Clean bool
+	// Stalled lists diagnostics for cells left with partial state.
+	Stalled []string
+	// Graph is the graph actually simulated (FIFO cells expanded into
+	// identity chains).
+	Graph *graph.Graph
+}
+
+// Output returns the stream received by the sink with the given label.
+func (r *Result) Output(label string) []value.Value { return r.Outputs[label] }
+
+// II returns the steady-state initiation interval observed at the given
+// sink: the average cycle gap between consecutive arrivals over the middle
+// half of the stream, which excludes pipeline fill and drain transients.
+// It returns 0 if fewer than two values arrived.
+func (r *Result) II(label string) float64 {
+	arr := r.Arrivals[label]
+	if len(arr) < 2 {
+		return 0
+	}
+	lo, hi := 0, len(arr)-1
+	if len(arr) >= 8 {
+		lo, hi = len(arr)/4, 3*len(arr)/4
+	}
+	return float64(arr[hi].Cycle-arr[lo].Cycle) / float64(hi-lo)
+}
+
+// FullyPipelined reports whether the sink sustained the maximum rate of one
+// result per two instruction times (§3).
+func (r *Result) FullyPipelined(label string) bool {
+	ii := r.II(label)
+	return ii > 0 && ii <= 2.0+1e-9
+}
+
+// sim is the mutable machine state.
+type sim struct {
+	g       *graph.Graph
+	arcTok  []*value.Value // token (or nil) per arc ID
+	srcPos  []int          // next stream index per node ID (sources/ctlgens)
+	ctlPos  []int
+	firings []int
+	outs    map[string][]value.Value
+	arrs    map[string][]Arrival
+	trace   func(int, *graph.Node, value.Value)
+
+	// candidate tracking: a cell's enabledness only changes when one of
+	// its input arcs fills or one of its output arcs drains.
+	cand     map[graph.NodeID]bool
+	nextCand map[graph.NodeID]bool
+}
+
+// firing is a cell's planned effect, computed against the start-of-cycle
+// snapshot and applied after all cells have been examined.
+type firing struct {
+	node     *graph.Node
+	consume  []int // arc IDs to clear
+	produce  []int // arc IDs to fill
+	out      value.Value
+	sink     bool
+	advance  bool // sources and control generators advance their position
+	produced bool // whether out is meaningful (gates may discard)
+}
+
+// Run simulates the graph until no cell is enabled and returns the result.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g = g.ExpandFIFOs()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: expanded graph invalid: %w", err)
+	}
+	maxCycles := opt.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	s := &sim{
+		g:        g,
+		arcTok:   make([]*value.Value, g.NumArcs()),
+		srcPos:   make([]int, g.NumNodes()),
+		firings:  make([]int, g.NumNodes()),
+		outs:     map[string][]value.Value{},
+		arrs:     map[string][]Arrival{},
+		trace:    opt.Trace,
+		cand:     map[graph.NodeID]bool{},
+		nextCand: map[graph.NodeID]bool{},
+	}
+	for _, a := range g.Arcs() {
+		if a.Init != nil {
+			tok := *a.Init
+			s.arcTok[a.ID] = &tok
+		}
+	}
+	for _, n := range g.Nodes() {
+		s.cand[n.ID] = true
+		if n.Op == graph.OpSink {
+			if _, dup := s.outs[n.Label]; dup {
+				return nil, fmt.Errorf("exec: duplicate sink label %q", n.Label)
+			}
+			s.outs[n.Label] = nil
+			s.arrs[n.Label] = nil
+		}
+	}
+
+	cycle := 0
+	for ; cycle < maxCycles; cycle++ {
+		plans := s.collect()
+		if len(plans) == 0 {
+			break
+		}
+		s.apply(cycle, plans)
+	}
+	if cycle >= maxCycles {
+		return nil, fmt.Errorf("exec: no quiescence after %d cycles (livelock or MaxCycles too small)", maxCycles)
+	}
+
+	res := &Result{
+		Cycles:   cycle,
+		Firings:  s.firings,
+		Outputs:  s.outs,
+		Arrivals: s.arrs,
+		Graph:    g,
+	}
+	res.Clean, res.Stalled = s.drainState()
+	return res, nil
+}
+
+// collect examines candidate cells against the current snapshot and returns
+// the firing plans of all enabled cells in deterministic (NodeID) order.
+func (s *sim) collect() []firing {
+	ids := make([]int, 0, len(s.cand))
+	for id := range s.cand {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	var plans []firing
+	for _, id := range ids {
+		n := s.g.Node(graph.NodeID(id))
+		if f, ok := s.plan(n); ok {
+			plans = append(plans, f)
+		}
+	}
+	return plans
+}
+
+// operand returns the value on port p of n, or nil if absent.
+func (s *sim) operand(n *graph.Node, p int) *value.Value {
+	in := n.In[p]
+	if in.Literal != nil {
+		return in.Literal
+	}
+	if in.Arc == nil {
+		return nil
+	}
+	return s.arcTok[in.Arc.ID]
+}
+
+// consumeArc appends port p's arc (if any) to the consume list.
+func consumeArc(n *graph.Node, p int, consume []int) []int {
+	if a := n.In[p].Arc; a != nil {
+		return append(consume, a.ID)
+	}
+	return consume
+}
+
+// plan decides whether cell n can fire now and, if so, what its effects are.
+func (s *sim) plan(n *graph.Node) (firing, bool) {
+	f := firing{node: n}
+
+	// Phase 1: operand availability and result computation.
+	switch n.Op {
+	case graph.OpSource:
+		if s.srcPos[n.ID] >= len(n.Stream) {
+			return f, false
+		}
+		f.out = n.Stream[s.srcPos[n.ID]]
+		f.advance = true
+		f.produced = true
+
+	case graph.OpCtlGen:
+		total := n.Pattern.Len()
+		if total >= 0 && s.srcPos[n.ID] >= total {
+			return f, false
+		}
+		f.out = value.B(n.Pattern.At(s.srcPos[n.ID]))
+		f.advance = true
+		f.produced = true
+
+	case graph.OpSink:
+		v := s.operand(n, 0)
+		if v == nil {
+			return f, false
+		}
+		f.out = *v
+		f.sink = true
+		f.consume = consumeArc(n, 0, f.consume)
+
+	case graph.OpMerge:
+		ctl := s.operand(n, 0)
+		if ctl == nil {
+			return f, false
+		}
+		sel := 2
+		if ctl.AsBool() {
+			sel = 1
+		}
+		v := s.operand(n, sel)
+		if v == nil {
+			return f, false
+		}
+		// extra control ports (gates) must also be present
+		for p := 3; p < len(n.In); p++ {
+			if s.operand(n, p) == nil {
+				return f, false
+			}
+		}
+		f.out = *v
+		f.produced = true
+		f.consume = consumeArc(n, 0, f.consume)
+		f.consume = consumeArc(n, sel, f.consume)
+		for p := 3; p < len(n.In); p++ {
+			f.consume = consumeArc(n, p, f.consume)
+		}
+
+	case graph.OpTGate, graph.OpFGate:
+		ctl := s.operand(n, 0)
+		data := s.operand(n, 1)
+		if ctl == nil || data == nil {
+			return f, false
+		}
+		for p := 2; p < len(n.In); p++ {
+			if s.operand(n, p) == nil {
+				return f, false
+			}
+		}
+		pass := ctl.AsBool()
+		if n.Op == graph.OpFGate {
+			pass = !pass
+		}
+		f.out = *data
+		f.produced = pass // false: discard, consuming both operands
+		for p := 0; p < len(n.In); p++ {
+			f.consume = consumeArc(n, p, f.consume)
+		}
+
+	default: // ordinary operator and identity cells
+		vals := make([]value.Value, len(n.In))
+		for p := range n.In {
+			v := s.operand(n, p)
+			if v == nil {
+				return f, false
+			}
+			vals[p] = *v
+		}
+		f.out = ApplyOp(n.Op, vals)
+		f.produced = true
+		for p := range n.In {
+			f.consume = consumeArc(n, p, f.consume)
+		}
+	}
+
+	// Phase 2: destination availability. Every arc this firing will write
+	// must be empty (its previous token acknowledged). Gated arcs are
+	// written only when their gate operand is true.
+	if f.produced {
+		for _, a := range n.Out {
+			write := true
+			if a.Gate != graph.NoGate {
+				gv := s.operand(n, a.Gate)
+				if gv == nil {
+					return f, false // gate operand itself not ready
+				}
+				write = gv.AsBool()
+			}
+			if write {
+				if s.arcTok[a.ID] != nil {
+					return f, false
+				}
+				f.produce = append(f.produce, a.ID)
+			}
+		}
+	}
+	return f, true
+}
+
+// ApplyOp evaluates an ordinary (non-gate, non-merge) operator cell; it is
+// shared with the packet-level machine simulator.
+func ApplyOp(op graph.Op, v []value.Value) value.Value {
+	switch op {
+	case graph.OpID:
+		return v[0]
+	case graph.OpAdd:
+		return value.Add(v[0], v[1])
+	case graph.OpSub:
+		return value.Sub(v[0], v[1])
+	case graph.OpMul:
+		return value.Mul(v[0], v[1])
+	case graph.OpDiv:
+		return value.Div(v[0], v[1])
+	case graph.OpMin:
+		return value.Min(v[0], v[1])
+	case graph.OpMax:
+		return value.Max(v[0], v[1])
+	case graph.OpNeg:
+		return value.Neg(v[0])
+	case graph.OpAbs:
+		return value.Abs(v[0])
+	case graph.OpLT:
+		return value.LT(v[0], v[1])
+	case graph.OpLE:
+		return value.LE(v[0], v[1])
+	case graph.OpGT:
+		return value.GT(v[0], v[1])
+	case graph.OpGE:
+		return value.GE(v[0], v[1])
+	case graph.OpEQ:
+		return value.EQ(v[0], v[1])
+	case graph.OpNE:
+		return value.NE(v[0], v[1])
+	case graph.OpAnd:
+		return value.And(v[0], v[1])
+	case graph.OpOr:
+		return value.Or(v[0], v[1])
+	case graph.OpNot:
+		return value.Not(v[0])
+	default:
+		panic(fmt.Sprintf("exec: ApplyOp on %s", op))
+	}
+}
+
+// apply commits the cycle's firings and updates the candidate set.
+func (s *sim) apply(cycle int, plans []firing) {
+	clear(s.nextCand)
+	for _, f := range plans {
+		n := f.node
+		s.firings[n.ID]++
+		s.nextCand[n.ID] = true
+		for _, aid := range f.consume {
+			s.arcTok[aid] = nil
+			// the producer of a drained arc may now be enabled
+			s.nextCand[s.g.Arcs()[aid].From] = true
+		}
+		if f.advance {
+			s.srcPos[n.ID]++
+		}
+		if f.sink {
+			s.outs[n.Label] = append(s.outs[n.Label], f.out)
+			s.arrs[n.Label] = append(s.arrs[n.Label], Arrival{Cycle: cycle, Val: f.out})
+		}
+		if s.trace != nil && f.produced {
+			s.trace(cycle, n, f.out)
+		}
+	}
+	for _, f := range plans {
+		tok := f.out
+		for _, aid := range f.produce {
+			s.arcTok[aid] = &tok
+			s.nextCand[s.g.Arcs()[aid].To] = true
+		}
+	}
+	s.cand, s.nextCand = s.nextCand, s.cand
+}
+
+// drainState reports whether the quiescent machine is fully drained and
+// lists diagnostics for any leftover state.
+func (s *sim) drainState() (bool, []string) {
+	var stalled []string
+	for _, n := range s.g.Nodes() {
+		switch n.Op {
+		case graph.OpSource:
+			if s.srcPos[n.ID] < len(n.Stream) {
+				stalled = append(stalled, fmt.Sprintf("%s: %d of %d stream values unsent",
+					n.Name(), len(n.Stream)-s.srcPos[n.ID], len(n.Stream)))
+			}
+		case graph.OpCtlGen:
+			if t := n.Pattern.Len(); t >= 0 && s.srcPos[n.ID] < t {
+				stalled = append(stalled, fmt.Sprintf("%s: %d of %d control values unsent",
+					n.Name(), t-s.srcPos[n.ID], t))
+			}
+		}
+	}
+	for _, a := range s.g.Arcs() {
+		if s.arcTok[a.ID] != nil {
+			stalled = append(stalled, fmt.Sprintf("token %s stranded on arc %s -> %s port %d",
+				s.arcTok[a.ID], s.g.Node(a.From).Name(), s.g.Node(a.To).Name(), a.ToPort))
+		}
+	}
+	return len(stalled) == 0, stalled
+}
+
+// Describe summarizes a result for reports and error messages.
+func Describe(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d clean=%v\n", r.Cycles, r.Clean)
+	labels := make([]string, 0, len(r.Outputs))
+	for l := range r.Outputs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "sink %q: %d values, II=%.3f\n", l, len(r.Outputs[l]), r.II(l))
+	}
+	for _, d := range r.Stalled {
+		fmt.Fprintf(&b, "stall: %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"staticpipe/internal/graph"
+	"staticpipe/internal/value"
+)
+
+// Waterfall simulates the graph and renders a firing chart: one row per
+// cell, one column per cycle, '#' where the cell fired. It makes the
+// paper's pipelining story visible at a glance — a fully pipelined graph
+// shows every row firing on alternate columns, Todd's loop shows the
+// 1-in-3 stutter, and an unbalanced graph shows ragged stalls.
+//
+// The chart is truncated to maxCols columns (0 = 120); rows appear in cell
+// order. Use small stream lengths: this is a study tool, not a profiler.
+func Waterfall(g *graph.Graph, opt Options, maxCols int) (string, error) {
+	if maxCols <= 0 {
+		maxCols = 120
+	}
+	fired := map[graph.NodeID][]int{}
+	inner := opt
+	prevTrace := opt.Trace
+	inner.Trace = func(cycle int, n *graph.Node, v value.Value) {
+		fired[n.ID] = append(fired[n.ID], cycle)
+		if prevTrace != nil {
+			prevTrace(cycle, n, v)
+		}
+	}
+	res, err := Run(g, inner)
+	if err != nil {
+		return "", err
+	}
+	// The trace hook reports producing cells; sinks record arrivals.
+	for _, n := range res.Graph.Nodes() {
+		if n.Op == graph.OpSink {
+			for _, a := range res.Arrivals[n.Label] {
+				fired[n.ID] = append(fired[n.ID], a.Cycle)
+			}
+		}
+	}
+
+	cols := res.Cycles
+	truncated := false
+	if cols > maxCols {
+		cols = maxCols
+		truncated = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle     ")
+	for c := 0; c < cols; c += 10 {
+		fmt.Fprintf(&b, "%-10d", c)
+	}
+	b.WriteByte('\n')
+	for _, n := range res.Graph.Nodes() {
+		name := n.Name()
+		if len(name) > 24 {
+			name = name[:24]
+		}
+		fmt.Fprintf(&b, "%-24s |", name)
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, c := range fired[n.ID] {
+			if c < cols {
+				row[c] = '#'
+			}
+		}
+		b.Write(row)
+		b.WriteByte('|')
+		if truncated {
+			b.WriteString(" ...")
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d cells, %d cycles", res.Graph.NumNodes(), res.Cycles)
+	if truncated {
+		fmt.Fprintf(&b, " (showing first %d)", cols)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}

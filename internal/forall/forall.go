@@ -1,0 +1,217 @@
+// Package forall compiles Val forall expressions into static dataflow
+// instruction graphs (§6, Theorem 2).
+//
+// Two schemes are implemented, as the paper describes:
+//
+//   - the pipeline scheme (Fig 6): the body — definitions cascaded into the
+//     accumulation expression — compiles once as a primitive-expression
+//     pipeline over the index range; array elements stream through it at
+//     the maximum rate after balancing;
+//   - the parallel scheme: one copy of the body per element, with gated
+//     distribution of the input element streams and a merge chain gathering
+//     the element results in index order. The paper notes this scheme "is
+//     of limited interest" for stream-resident arrays; it is provided as
+//     the comparison baseline (experiment E14).
+package forall
+
+import (
+	"fmt"
+
+	"staticpipe/internal/graph"
+	"staticpipe/internal/pe"
+	"staticpipe/internal/val"
+)
+
+// Input is an array element stream available to the block: values for
+// indices Lo..Hi arriving in order at Node's output. Two-dimensional
+// arrays (TwoD) stream row-major over [Lo,Hi]×[Lo2,Hi2].
+type Input struct {
+	Node     *graph.Node
+	Lo, Hi   int64
+	TwoD     bool
+	Lo2, Hi2 int64
+}
+
+// Out describes a compiled block's result stream: elements of the
+// constructed array, indices Lo..Hi (×[Lo2,Hi2] row-major when TwoD), in
+// order.
+type Out struct {
+	Node     *graph.Node
+	Lo, Hi   int64
+	TwoD     bool
+	Lo2, Hi2 int64
+}
+
+// Scheme selects the mapping strategy.
+type Scheme int
+
+const (
+	// Pipeline is the paper's scheme of §6: one body instance processing
+	// the element stream.
+	Pipeline Scheme = iota
+	// Parallel replicates the body per element (baseline).
+	Parallel
+)
+
+// Options configures compilation.
+type Options struct {
+	Scheme Scheme
+	PE     pe.Options
+}
+
+// IsPrimitive checks the §6 definition of a primitive forall expression:
+// constant index range, and definitions and accumulation all primitive
+// expressions on the index variable. arrays names the array streams in
+// scope. A nil return means primitive. (Two-dimensional foralls validate
+// their body during compilation instead.)
+func IsPrimitive(fa *val.Forall, params map[string]int64, arrays map[string]bool) error {
+	if _, err := val.EvalConst(fa.Lo, params); err != nil {
+		return fmt.Errorf("forall: index range is not manifest: %w", err)
+	}
+	if _, err := val.EvalConst(fa.Hi, params); err != nil {
+		return fmt.Errorf("forall: index range is not manifest: %w", err)
+	}
+	if fa.TwoD() {
+		if _, err := val.EvalConst(fa.Lo2, params); err != nil {
+			return fmt.Errorf("forall: index range is not manifest: %w", err)
+		}
+		if _, err := val.EvalConst(fa.Hi2, params); err != nil {
+			return fmt.Errorf("forall: index range is not manifest: %w", err)
+		}
+		return nil
+	}
+	scalars := map[string]bool{}
+	for _, d := range fa.Defs {
+		if err := pe.Classify(d.Init, fa.IndexVar, params, arrays, scalars); err != nil {
+			return fmt.Errorf("forall: definition of %s: %w", d.Name, err)
+		}
+		scalars[d.Name] = true
+	}
+	if err := pe.Classify(fa.Accum, fa.IndexVar, params, arrays, scalars); err != nil {
+		return fmt.Errorf("forall: accumulation: %w", err)
+	}
+	return nil
+}
+
+// Compile translates a primitive forall into the graph and returns its
+// output stream.
+func Compile(g *graph.Graph, fa *val.Forall, params map[string]int64,
+	arrays map[string]Input, opts Options) (*Out, error) {
+	lo, err := val.EvalConst(fa.Lo, params)
+	if err != nil {
+		return nil, fmt.Errorf("forall: %w", err)
+	}
+	hi, err := val.EvalConst(fa.Hi, params)
+	if err != nil {
+		return nil, fmt.Errorf("forall: %w", err)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("forall: empty index range [%d, %d]", lo, hi)
+	}
+	var lo2, hi2 int64
+	if fa.TwoD() {
+		if lo2, err = val.EvalConst(fa.Lo2, params); err != nil {
+			return nil, fmt.Errorf("forall: %w", err)
+		}
+		if hi2, err = val.EvalConst(fa.Hi2, params); err != nil {
+			return nil, fmt.Errorf("forall: %w", err)
+		}
+		if hi2 < lo2 {
+			return nil, fmt.Errorf("forall: empty index range [%d, %d]", lo2, hi2)
+		}
+	}
+	body := bodyExpr(fa)
+	switch opts.Scheme {
+	case Pipeline:
+		return compilePipeline(g, fa, body, lo, hi, lo2, hi2, params, arrays, opts)
+	case Parallel:
+		return compileParallel(g, fa, body, lo, hi, lo2, hi2, params, arrays, opts)
+	default:
+		return nil, fmt.Errorf("forall: unknown scheme %d", opts.Scheme)
+	}
+}
+
+// newBodyBuilder creates the pe builder for the forall's iteration space
+// and binds the available array streams.
+func newBodyBuilder(g *graph.Graph, fa *val.Forall, lo, hi, lo2, hi2 int64,
+	params map[string]int64, arrays map[string]Input, opts Options) *pe.Builder {
+	var b *pe.Builder
+	if fa.TwoD() {
+		b = pe.NewBuilder2(g, fa.IndexVar, lo, hi, fa.IndexVar2, lo2, hi2, params, opts.PE)
+	} else {
+		b = pe.NewBuilder(g, fa.IndexVar, lo, hi, params, opts.PE)
+	}
+	for name, in := range arrays {
+		if in.TwoD {
+			b.BindArray2(name, in.Node, in.Lo, in.Hi, in.Lo2, in.Hi2)
+		} else {
+			b.BindArray(name, in.Node, in.Lo, in.Hi)
+		}
+	}
+	return b
+}
+
+// bodyExpr cascades the definition part into the accumulation part: the
+// body is semantically `let defs in accum endlet` (Fig 6 is "the
+// instruction graph obtained by cascading the instruction graphs for the
+// definition expression and the accumulation expression").
+func bodyExpr(fa *val.Forall) val.Expr {
+	if len(fa.Defs) == 0 {
+		return fa.Accum
+	}
+	return &val.Let{Defs: fa.Defs, Body: fa.Accum}
+}
+
+func compilePipeline(g *graph.Graph, fa *val.Forall, body val.Expr, lo, hi, lo2, hi2 int64,
+	params map[string]int64, arrays map[string]Input, opts Options) (*Out, error) {
+	b := newBodyBuilder(g, fa, lo, hi, lo2, hi2, params, arrays, opts)
+	node, err := b.CompileStream(body)
+	if err != nil {
+		return nil, fmt.Errorf("forall: %w", err)
+	}
+	return &Out{Node: node, Lo: lo, Hi: hi, TwoD: fa.TwoD(), Lo2: lo2, Hi2: hi2}, nil
+}
+
+// compileParallel builds one body copy per index value. Each copy is a
+// single-iteration primitive-expression graph: its array references become
+// one-element selections from the shared input streams (the distribution
+// gates), and the per-element results are gathered back into a stream by a
+// chain of merges whose controls forward all earlier elements before the
+// copy's own.
+func compileParallel(g *graph.Graph, fa *val.Forall, body val.Expr, lo, hi, lo2, hi2 int64,
+	params map[string]int64, arrays map[string]Input, opts Options) (*Out, error) {
+	cols := int64(1)
+	if fa.TwoD() {
+		cols = hi2 - lo2 + 1
+	}
+	total := (hi - lo + 1) * cols
+	var gathered *graph.Node
+	for p := int64(0); p < total; p++ {
+		i := lo + p/cols
+		j := lo2 + p%cols
+		single := *fa
+		var b *pe.Builder
+		if fa.TwoD() {
+			b = newBodyBuilder(g, &single, i, i, j, j, params, arrays, opts)
+		} else {
+			b = newBodyBuilder(g, &single, i, i, 0, 0, params, arrays, opts)
+		}
+		copyOut, err := b.CompileStream(body)
+		if err != nil {
+			return nil, fmt.Errorf("forall: copy for %s=%d: %w", fa.IndexVar, i, err)
+		}
+		if gathered == nil {
+			gathered = copyOut
+			continue
+		}
+		// gathered carries the earlier elements; append this copy's.
+		merge := g.Add(graph.OpMerge, fmt.Sprintf("gather:%d", p))
+		ctl := g.AddCtl(fmt.Sprintf("gctl:%d", p),
+			graph.Pattern{Body: []bool{true}, Repeat: int(p), Suffix: []bool{false}})
+		g.Connect(ctl, merge, 0)
+		g.Connect(gathered, merge, 1)
+		g.Connect(copyOut, merge, 2)
+		gathered = merge
+	}
+	return &Out{Node: gathered, Lo: lo, Hi: hi, TwoD: fa.TwoD(), Lo2: lo2, Hi2: hi2}, nil
+}

@@ -1,0 +1,249 @@
+package forall
+
+import (
+	"math"
+	"testing"
+
+	"staticpipe/internal/balance"
+	"staticpipe/internal/exec"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/pe"
+	"staticpipe/internal/val"
+	"staticpipe/internal/value"
+)
+
+// example1Src is the forall block of the paper's Example 1.
+const example1Src = `
+forall i in [0, m+1]
+  P : real := if (i = 0) | (i = m+1) then C[i]
+              else 0.25 * (C[i-1] + 2.*C[i] + C[i+1]) endif;
+construct B[i]*(P*P)
+endall`
+
+func parseForall(t *testing.T, src string) *val.Forall {
+	t.Helper()
+	e, err := val.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, ok := e.(*val.Forall)
+	if !ok {
+		t.Fatalf("parsed %T, want *val.Forall", e)
+	}
+	return fa
+}
+
+// runForall compiles and simulates a forall over the given inputs.
+func runForall(t *testing.T, src string, params map[string]int64,
+	ins map[string]struct {
+		lo   int64
+		vals []float64
+	}, opts Options, doBalance bool) (*exec.Result, *Out, *graph.Graph) {
+	t.Helper()
+	fa := parseForall(t, src)
+	g := graph.New()
+	arrays := map[string]Input{}
+	for name, in := range ins {
+		srcN := g.AddSource(name, value.Reals(in.vals))
+		arrays[name] = Input{Node: srcN, Lo: in.lo, Hi: in.lo + int64(len(in.vals)) - 1}
+	}
+	out, err := Compile(g, fa, params, arrays, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(out.Node, g.AddSink("out"), 0)
+	if doBalance {
+		if _, err := balance.Balance(g); err != nil {
+			t.Fatalf("balance: %v", err)
+		}
+	}
+	res, err := exec.Run(g, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out, g
+}
+
+// reference evaluates Example 1 directly.
+func example1Ref(B, C []float64, m int) []float64 {
+	out := make([]float64, m+2)
+	for i := 0; i <= m+1; i++ {
+		var p float64
+		if i == 0 || i == m+1 {
+			p = C[i]
+		} else {
+			p = 0.25 * (C[i-1] + 2*C[i] + C[i+1])
+		}
+		out[i] = B[i] * (p * p)
+	}
+	return out
+}
+
+func example1Inputs(m int) map[string]struct {
+	lo   int64
+	vals []float64
+} {
+	B := make([]float64, m+2)
+	C := make([]float64, m+2)
+	for i := range B {
+		B[i] = 1 + float64(i)/3
+		C[i] = math.Cos(float64(i) / 2)
+	}
+	return map[string]struct {
+		lo   int64
+		vals []float64
+	}{
+		"B": {0, B},
+		"C": {0, C},
+	}
+}
+
+// TestExample1Pipeline is Theorem 2 on the paper's own example: the
+// pipeline scheme compiles Example 1 into a fully pipelined graph.
+func TestExample1Pipeline(t *testing.T) {
+	m := 20
+	ins := example1Inputs(m)
+	res, out, _ := runForall(t, example1Src, map[string]int64{"m": int64(m)}, ins,
+		Options{Scheme: Pipeline}, true)
+	if out.Lo != 0 || out.Hi != int64(m+1) {
+		t.Errorf("output range [%d, %d]", out.Lo, out.Hi)
+	}
+	want := example1Ref(ins["B"].vals, ins["C"].vals, m)
+	got := res.Output("out")
+	if len(got) != len(want) {
+		t.Fatalf("got %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !value.Close(got[i], value.R(want[i]), 1e-12) {
+			t.Errorf("A[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ii := res.II("out"); ii != 2 {
+		t.Errorf("II = %v, want 2 (Theorem 2: fully pipelined)", ii)
+	}
+	if !res.Clean {
+		t.Errorf("not clean: %v", res.Stalled)
+	}
+}
+
+// TestParallelSchemeMatches verifies the parallel scheme computes the same
+// array.
+func TestParallelSchemeMatches(t *testing.T) {
+	m := 6
+	ins := example1Inputs(m)
+	params := map[string]int64{"m": int64(m)}
+	pipe, _, _ := runForall(t, example1Src, params, ins, Options{Scheme: Pipeline}, true)
+	par, _, _ := runForall(t, example1Src, params, ins, Options{Scheme: Parallel}, false)
+	pv, qv := pipe.Output("out"), par.Output("out")
+	if len(pv) != len(qv) {
+		t.Fatalf("lengths %d vs %d", len(pv), len(qv))
+	}
+	for i := range pv {
+		if !value.Close(pv[i], qv[i], 1e-12) {
+			t.Errorf("element %d: pipeline %v, parallel %v", i, pv[i], qv[i])
+		}
+	}
+}
+
+// TestSchemeCosts quantifies the paper's point (E14): the parallel scheme
+// replicates the body per element, so its cell count grows with the range
+// while the pipeline scheme's stays fixed.
+func TestSchemeCosts(t *testing.T) {
+	params := func(m int) map[string]int64 { return map[string]int64{"m": int64(m)} }
+	cellsOf := func(m int, s Scheme) int {
+		ins := example1Inputs(m)
+		_, _, g := runForall(t, example1Src, params(m), ins, Options{Scheme: s}, false)
+		return g.ComputeStats().Cells
+	}
+	p8, p16 := cellsOf(8, Pipeline), cellsOf(16, Pipeline)
+	if p8 != p16 {
+		t.Errorf("pipeline scheme cells grew with range: %d vs %d", p8, p16)
+	}
+	q8, q16 := cellsOf(8, Parallel), cellsOf(16, Parallel)
+	if q16 <= q8 || q16 < p16*4 {
+		t.Errorf("parallel scheme should replicate cells: %d (m=8) vs %d (m=16), pipeline %d", q8, q16, p16)
+	}
+}
+
+func TestSimpleForallNoDefs(t *testing.T) {
+	res, _, _ := runForall(t, "forall i in [1, 8] construct C[i] * 2. endall",
+		nil, map[string]struct {
+			lo   int64
+			vals []float64
+		}{"C": {0, []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}},
+		Options{Scheme: Pipeline}, true)
+	got := res.Output("out")
+	if len(got) != 8 {
+		t.Fatalf("got %d elements", len(got))
+	}
+	for i := range got {
+		if got[i].AsReal() != float64(i+1)*2 {
+			t.Errorf("element %d = %v", i, got[i])
+		}
+	}
+}
+
+func TestIsPrimitive(t *testing.T) {
+	arrays := map[string]bool{"B": true, "C": true}
+	params := map[string]int64{"m": 5}
+	fa := parseForall(t, example1Src)
+	if err := IsPrimitive(fa, params, arrays); err != nil {
+		t.Errorf("Example 1 should be primitive: %v", err)
+	}
+	// nested forall in a definition
+	bad := parseForall(t, `forall i in [0, 3]
+	  Q : array[real] := forall j in [0, 1] construct 1. endall;
+	construct 1. endall`)
+	if err := IsPrimitive(bad, params, arrays); err == nil {
+		t.Error("nested forall classified primitive")
+	}
+	// non-manifest range
+	bad2 := parseForall(t, "forall i in [0, k] construct 1. endall")
+	if err := IsPrimitive(bad2, params, arrays); err == nil {
+		t.Error("unknown range bound classified primitive")
+	}
+	// bad subscript in accumulation
+	bad3 := parseForall(t, "forall i in [0, 3] construct C[2*i] endall")
+	if err := IsPrimitive(bad3, params, arrays); err == nil {
+		t.Error("non-affine subscript classified primitive")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	g := graph.New()
+	fa := parseForall(t, "forall i in [3, 1] construct 1. endall")
+	if _, err := Compile(g, fa, nil, nil, Options{}); err == nil {
+		t.Error("empty range accepted")
+	}
+	fa2 := parseForall(t, "forall i in [0, k] construct 1. endall")
+	if _, err := Compile(g, fa2, nil, nil, Options{}); err == nil {
+		t.Error("non-manifest range accepted")
+	}
+	fa3 := parseForall(t, "forall i in [0, 3] construct C[i] endall")
+	if _, err := Compile(g, fa3, nil, nil, Options{Scheme: Pipeline}); err == nil {
+		t.Error("unbound array accepted")
+	}
+	if _, err := Compile(g, fa3, nil, nil, Options{Scheme: Scheme(9)}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestPipelineWithLiteralControl(t *testing.T) {
+	m := 8
+	ins := example1Inputs(m)
+	res, _, g := runForall(t, example1Src, map[string]int64{"m": int64(m)}, ins,
+		Options{Scheme: Pipeline, PE: pe.Options{LiteralControl: true}}, true)
+	want := example1Ref(ins["B"].vals, ins["C"].vals, m)
+	got := res.Output("out")
+	if len(got) != len(want) {
+		t.Fatalf("got %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !value.Close(got[i], value.R(want[i]), 1e-12) {
+			t.Errorf("A[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := g.ComputeStats().ByOp[graph.OpCtlGen]; n != 0 {
+		t.Errorf("literal mode emitted %d idealized control cells", n)
+	}
+}

@@ -1,0 +1,612 @@
+// Package foriter compiles Val for-iter array constructions into static
+// dataflow instruction graphs (§7).
+//
+// Two mapping schemes are implemented:
+//
+//   - Todd's scheme [15] (Fig 7): the loop body becomes an acyclic pipeline
+//     F with a feedback arc from the result MERGE back to the x_{i−1}
+//     input. The feedback cycle of Example 2 has three cells carrying one
+//     circulating value, so the initiation rate cannot exceed 1/3;
+//   - the companion scheme (Fig 8, Theorem 3): when the recurrence
+//     x_i = F(a_i, x_{i−1}) has a companion function G, the loop is
+//     rewritten x_i = F(c_i, x_{i−2}) with c_i = G(a_i, a_{i−1}) computed
+//     by an acyclic companion pipeline; an identity cell pads the feedback
+//     cycle to four cells carrying two values — the maximum 1/2 rate.
+//
+// The compiler recognizes two companion-bearing recurrence families
+// automatically: linear recurrences x_i = A_i·x_{i−1} + B_i (Example 2's
+// family, covering running sums and products) and associative scans
+// x_i = min/max(B_i, x_{i−1}).
+package foriter
+
+import (
+	"fmt"
+
+	"staticpipe/internal/val"
+)
+
+// Kind classifies the recurrence for scheme selection.
+type Kind int
+
+const (
+	// KindGeneral is a recurrence with no recognized companion function
+	// (or none at all); only Todd's scheme applies. The paper: "there are
+	// many recurrence functions for which no companion function is known".
+	KindGeneral Kind = iota
+	// KindLinear is x_i = A_i·x_{i−1} + B_i.
+	KindLinear
+	// KindScanMin is x_i = min(B_i, x_{i−1}).
+	KindScanMin
+	// KindScanMax is x_i = max(B_i, x_{i−1}).
+	KindScanMax
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLinear:
+		return "linear"
+	case KindScanMin:
+		return "min-scan"
+	case KindScanMax:
+		return "max-scan"
+	default:
+		return "general"
+	}
+}
+
+// Rec is the extracted normal form of a primitive for-iter construct (§7
+// definition): counter i = P, P+1, ..., the accumulating array X seeded
+// with X := [R: Init], iter appends X[i: Val] while the continuation
+// condition holds, and the loop result is X.
+type Rec struct {
+	Counter string
+	P       int64 // first counter value
+	X       string
+	R       int64    // index of the seed element; must be P−1
+	Init    val.Expr // E0, a primitive scalar expression
+	// Val is the appended expression with let definitions inlined; it may
+	// reference X[i−1] (the recurrence) and input arrays.
+	Val val.Expr
+	// T is the last counter value for which the iter arm runs;
+	// ElseAppends reports whether the terminating arm appends one more
+	// element at T+1. Q is the resulting last index.
+	T           int64
+	ElseAppends bool
+	Q           int64
+
+	Kind Kind
+	// Linear coefficients (Kind == KindLinear): synthesized primitive
+	// expressions with x_i = AExpr·x_{i−1} + BExpr. Either may be nil,
+	// meaning the constant 0.
+	AExpr, BExpr val.Expr
+	// ScanArg (Kind == KindScanMin/Max): x_i = op(ScanArg, x_{i−1}).
+	ScanArg val.Expr
+}
+
+// N returns the number of loop-computed elements (indices P..Q).
+func (r *Rec) N() int { return int(r.Q - r.P + 1) }
+
+func extErr(p val.Pos, format string, args ...any) error {
+	return fmt.Errorf("foriter: %s: not a primitive for-iter construct: %s", p, fmt.Sprintf(format, args...))
+}
+
+// Extract classifies a for-iter expression against the §7 definition and
+// returns its recurrence normal form.
+func Extract(fi *val.ForIter, params map[string]int64) (*Rec, error) {
+	rec := &Rec{}
+	if len(fi.Inits) != 2 {
+		return nil, extErr(fi.Pos(), "need exactly two loop variables (counter and array), got %d", len(fi.Inits))
+	}
+	// Identify the counter and the accumulator.
+	for _, d := range fi.Inits {
+		if ai, ok := d.Init.(*val.ArrayInit); ok {
+			if rec.X != "" {
+				return nil, extErr(d.P, "two array loop variables")
+			}
+			rec.X = d.Name
+			r, err := val.EvalConst(ai.At, params)
+			if err != nil {
+				return nil, extErr(d.P, "seed index is not manifest: %v", err)
+			}
+			rec.R = r
+			rec.Init = ai.Val
+			continue
+		}
+		p, err := val.EvalConst(d.Init, params)
+		if err != nil {
+			return nil, extErr(d.P, "counter initial value is not manifest: %v", err)
+		}
+		if rec.Counter != "" {
+			return nil, extErr(d.P, "two counter loop variables")
+		}
+		rec.Counter = d.Name
+		rec.P = p
+	}
+	if rec.Counter == "" || rec.X == "" {
+		return nil, extErr(fi.Pos(), "need one integer counter and one array accumulator")
+	}
+	if rec.R != rec.P-1 {
+		return nil, extErr(fi.Pos(), "seed index %d must be counter start − 1 = %d", rec.R, rec.P-1)
+	}
+
+	// Peel optional let definitions; they are inlined into the appended
+	// expression below.
+	body := fi.Body
+	var defs []val.Def
+	if let, ok := body.(*val.Let); ok {
+		defs = let.Defs
+		body = let.Body
+	}
+	cond, ok := body.(*val.If)
+	if !ok {
+		return nil, extErr(body.Pos(), "loop body must be a conditional, got %T", body)
+	}
+	iter, ok := cond.Then.(*val.Iter)
+	if !ok {
+		return nil, extErr(cond.Then.Pos(), "the then arm must be the iter clause")
+	}
+
+	// Continuation condition: counter REL constant.
+	t, err := lastTrue(cond.Cond, rec.Counter, params)
+	if err != nil {
+		return nil, err
+	}
+	rec.T = t
+	if rec.T < rec.P {
+		return nil, extErr(cond.Pos(), "loop performs no iterations (condition false at %s = %d)", rec.Counter, rec.P)
+	}
+
+	// Iter clause: X := X[i: E]; i := i + 1.
+	var appendVal val.Expr
+	for _, a := range iter.Assigns {
+		switch a.Name {
+		case rec.Counter:
+			if !isIncrement(a.Val, rec.Counter) {
+				return nil, extErr(a.P, "counter must advance by %s := %s + 1", rec.Counter, rec.Counter)
+			}
+		case rec.X:
+			ap, ok := a.Val.(*val.Append)
+			if !ok || ap.Array != rec.X {
+				return nil, extErr(a.P, "array must accumulate by %s := %s[%s: expr]", rec.X, rec.X, rec.Counter)
+			}
+			if n, ok := ap.At.(*val.Name); !ok || n.Ident != rec.Counter {
+				return nil, extErr(ap.At.Pos(), "append index must be the counter %s", rec.Counter)
+			}
+			appendVal = ap.Val
+		default:
+			return nil, extErr(a.P, "iter rebinds unknown variable %s", a.Name)
+		}
+	}
+	if appendVal == nil {
+		return nil, extErr(iter.Pos(), "iter clause does not append to %s", rec.X)
+	}
+
+	// Terminating arm: X, or X[i: E] with the same E.
+	switch e := cond.Else.(type) {
+	case *val.Name:
+		if e.Ident != rec.X {
+			return nil, extErr(e.Pos(), "loop result must be %s, got %s", rec.X, e.Ident)
+		}
+		rec.ElseAppends = false
+		rec.Q = rec.T
+	case *val.Append:
+		if e.Array != rec.X {
+			return nil, extErr(e.Pos(), "loop result must extend %s", rec.X)
+		}
+		if n, ok := e.At.(*val.Name); !ok || n.Ident != rec.Counter {
+			return nil, extErr(e.At.Pos(), "final append index must be the counter %s", rec.Counter)
+		}
+		if e.Val.String() != appendVal.String() {
+			return nil, extErr(e.Pos(), "final append expression %s differs from the iter arm's %s", e.Val, appendVal)
+		}
+		rec.ElseAppends = true
+		rec.Q = rec.T + 1
+	default:
+		return nil, extErr(cond.Else.Pos(), "terminating arm must be %s or %s[%s: expr], got %T", rec.X, rec.X, rec.Counter, e)
+	}
+
+	// Inline the let definitions into the appended expression and analyze
+	// the recurrence structure.
+	inlined, err := inline(appendVal, defs)
+	if err != nil {
+		return nil, err
+	}
+	rec.Val = inlined
+	if err := checkXUses(inlined, rec.X, rec.Counter, params); err != nil {
+		return nil, err
+	}
+	rec.analyze()
+	return rec, nil
+}
+
+// lastTrue interprets a continuation condition `i < K` or `i <= K` and
+// returns the last counter value for which it holds.
+func lastTrue(cond val.Expr, counter string, params map[string]int64) (int64, error) {
+	b, ok := cond.(*val.Binary)
+	if !ok {
+		return 0, extErr(cond.Pos(), "continuation condition must be %s < K or %s <= K", counter, counter)
+	}
+	n, ok := b.L.(*val.Name)
+	if !ok || n.Ident != counter {
+		return 0, extErr(cond.Pos(), "continuation condition must compare the counter %s", counter)
+	}
+	k, err := val.EvalConst(b.R, params)
+	if err != nil {
+		return 0, extErr(b.R.Pos(), "loop bound is not manifest: %v", err)
+	}
+	switch b.Op {
+	case val.OpLT:
+		return k - 1, nil
+	case val.OpLE:
+		return k, nil
+	default:
+		return 0, extErr(cond.Pos(), "continuation condition must use < or <=, got %s", b.Op)
+	}
+}
+
+// isIncrement recognizes i+1 and 1+i.
+func isIncrement(e val.Expr, counter string) bool {
+	b, ok := e.(*val.Binary)
+	if !ok || b.Op != val.OpAdd {
+		return false
+	}
+	if n, ok := b.L.(*val.Name); ok && n.Ident == counter {
+		if lit, ok := b.R.(*val.IntLit); ok && lit.Val == 1 {
+			return true
+		}
+	}
+	if n, ok := b.R.(*val.Name); ok && n.Ident == counter {
+		if lit, ok := b.L.(*val.IntLit); ok && lit.Val == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkXUses verifies every reference to the accumulating array is X[i−1]
+// (the first-order recurrence form).
+func checkXUses(e val.Expr, x, counter string, params map[string]int64) error {
+	var walk func(val.Expr) error
+	walk = func(e val.Expr) error {
+		switch n := e.(type) {
+		case *val.Index:
+			if n.Array != x {
+				return walkChildren(n, walk)
+			}
+			off, ok := indexOffsetOf(n.Sub, counter, params)
+			if !ok || off != -1 {
+				return extErr(n.Pos(), "recurrence reference must be %s[%s-1]", x, counter)
+			}
+			return nil
+		case *val.Name:
+			if n.Ident == x {
+				return extErr(n.Pos(), "array %s used without a subscript", x)
+			}
+			return nil
+		default:
+			return walkChildren(e, walk)
+		}
+	}
+	return walk(e)
+}
+
+// walkChildren applies f to e's direct subexpressions.
+func walkChildren(e val.Expr, f func(val.Expr) error) error {
+	switch x := e.(type) {
+	case *val.Unary:
+		return f(x.E)
+	case *val.Binary:
+		if err := f(x.L); err != nil {
+			return err
+		}
+		return f(x.R)
+	case *val.If:
+		for _, sub := range []val.Expr{x.Cond, x.Then, x.Else} {
+			if err := f(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *val.Let:
+		for _, d := range x.Defs {
+			if err := f(d.Init); err != nil {
+				return err
+			}
+		}
+		return f(x.Body)
+	case *val.Index:
+		return f(x.Sub)
+	default:
+		return nil
+	}
+}
+
+// indexOffsetOf recognizes subscripts i+c / i-c / i, returning c.
+func indexOffsetOf(e val.Expr, counter string, params map[string]int64) (int64, bool) {
+	switch x := e.(type) {
+	case *val.Name:
+		if x.Ident == counter {
+			return 0, true
+		}
+	case *val.Binary:
+		if x.Op != val.OpAdd && x.Op != val.OpSub {
+			return 0, false
+		}
+		if n, ok := x.L.(*val.Name); ok && n.Ident == counter {
+			if c, err := val.EvalConst(x.R, params); err == nil {
+				if x.Op == val.OpSub {
+					return -c, true
+				}
+				return c, true
+			}
+		}
+		if x.Op == val.OpAdd {
+			if n, ok := x.R.(*val.Name); ok && n.Ident == counter {
+				if c, err := val.EvalConst(x.L, params); err == nil {
+					return c, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// inline substitutes let definitions (in order) into e, producing a single
+// expression over the loop inputs — the form the linearity analysis needs.
+func inline(e val.Expr, defs []val.Def) (val.Expr, error) {
+	env := map[string]val.Expr{}
+	for _, d := range defs {
+		sub, err := subst(d.Init, env)
+		if err != nil {
+			return nil, err
+		}
+		env[d.Name] = sub
+	}
+	return subst(e, env)
+}
+
+// subst replaces free names bound in env, respecting shadowing by inner
+// lets.
+func subst(e val.Expr, env map[string]val.Expr) (val.Expr, error) {
+	if len(env) == 0 {
+		return e, nil
+	}
+	switch x := e.(type) {
+	case *val.IntLit, *val.RealLit, *val.BoolLit:
+		return e, nil
+	case *val.Name:
+		if r, ok := env[x.Ident]; ok {
+			return r, nil
+		}
+		return e, nil
+	case *val.Unary:
+		sub, err := subst(x.E, env)
+		if err != nil {
+			return nil, err
+		}
+		cp := *x
+		cp.E = sub
+		return &cp, nil
+	case *val.Binary:
+		l, err := subst(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := subst(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		cp := *x
+		cp.L, cp.R = l, r
+		return &cp, nil
+	case *val.If:
+		c, err := subst(x.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		tn, err := subst(x.Then, env)
+		if err != nil {
+			return nil, err
+		}
+		el, err := subst(x.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		cp := *x
+		cp.Cond, cp.Then, cp.Else = c, tn, el
+		return &cp, nil
+	case *val.Index:
+		sub, err := subst(x.Sub, env)
+		if err != nil {
+			return nil, err
+		}
+		cp := *x
+		cp.Sub = sub
+		return &cp, nil
+	case *val.Let:
+		inner := map[string]val.Expr{}
+		for k, v := range env {
+			inner[k] = v
+		}
+		cp := *x
+		cp.Defs = append([]val.Def(nil), x.Defs...)
+		for i := range cp.Defs {
+			sub, err := subst(cp.Defs[i].Init, inner)
+			if err != nil {
+				return nil, err
+			}
+			cp.Defs[i].Init = sub
+			delete(inner, cp.Defs[i].Name) // shadowed below this point
+		}
+		body, err := subst(x.Body, inner)
+		if err != nil {
+			return nil, err
+		}
+		cp.Body = body
+		return &cp, nil
+	default:
+		return nil, extErr(e.Pos(), "unsupported form %T in loop body", e)
+	}
+}
+
+// analyze determines the recurrence kind and, for companion-bearing
+// families, synthesizes the coefficient expressions.
+func (r *Rec) analyze() {
+	if !usesArray(r.Val, r.X) {
+		r.Kind = KindGeneral // no self-dependence; Todd's scheme handles it
+		return
+	}
+	// min/max scan?
+	if b, ok := r.Val.(*val.Binary); ok && (b.Op == val.OpMin || b.Op == val.OpMax) {
+		xl := isXRef(b.L, r.X)
+		xr := isXRef(b.R, r.X)
+		if xl != xr { // exactly one side is x_{i-1}
+			arg := b.L
+			if xl {
+				arg = b.R
+			}
+			if !usesArray(arg, r.X) {
+				if b.Op == val.OpMin {
+					r.Kind = KindScanMin
+				} else {
+					r.Kind = KindScanMax
+				}
+				r.ScanArg = arg
+				return
+			}
+		}
+	}
+	if l, ok := linearize(r.Val, r.X); ok {
+		r.Kind = KindLinear
+		r.AExpr = l.a
+		r.BExpr = l.b
+		return
+	}
+	r.Kind = KindGeneral
+}
+
+// isXRef reports whether e is exactly a reference X[...] to the
+// accumulator (the offset was already validated as −1).
+func isXRef(e val.Expr, x string) bool {
+	ix, ok := e.(*val.Index)
+	return ok && ix.Array == x
+}
+
+// usesArray reports whether e references array x anywhere.
+func usesArray(e val.Expr, x string) bool {
+	found := false
+	var walk func(val.Expr) error
+	walk = func(e val.Expr) error {
+		if ix, ok := e.(*val.Index); ok && ix.Array == x {
+			found = true
+			return nil
+		}
+		return walkChildren(e, walk)
+	}
+	_ = walk(e)
+	return found
+}
+
+// lin is a symbolic linear form a·x + b; nil fields mean the constant 0.
+type lin struct {
+	a, b val.Expr
+}
+
+// linearize decomposes e as a linear form in x_{i−1}. It handles +, −,
+// unary −, and * and / by an x-free factor; anything else containing x
+// fails.
+func linearize(e val.Expr, x string) (lin, bool) {
+	if isXRef(e, x) {
+		return lin{a: &val.IntLit{Val: 1}}, true
+	}
+	if !usesArray(e, x) {
+		return lin{b: e}, true
+	}
+	switch n := e.(type) {
+	case *val.Unary:
+		if n.Op != val.OpNeg {
+			return lin{}, false
+		}
+		inner, ok := linearize(n.E, x)
+		if !ok {
+			return lin{}, false
+		}
+		return lin{a: negExpr(inner.a), b: negExpr(inner.b)}, true
+	case *val.Binary:
+		switch n.Op {
+		case val.OpAdd, val.OpSub:
+			l, ok := linearize(n.L, x)
+			if !ok {
+				return lin{}, false
+			}
+			r, ok := linearize(n.R, x)
+			if !ok {
+				return lin{}, false
+			}
+			if n.Op == val.OpSub {
+				r = lin{a: negExpr(r.a), b: negExpr(r.b)}
+			}
+			return lin{a: addExpr(l.a, r.a), b: addExpr(l.b, r.b)}, true
+		case val.OpMul:
+			// exactly one factor may contain x
+			lHas, rHas := usesArray(n.L, x), usesArray(n.R, x)
+			switch {
+			case lHas && rHas:
+				return lin{}, false
+			case lHas:
+				inner, ok := linearize(n.L, x)
+				if !ok {
+					return lin{}, false
+				}
+				return lin{a: mulExpr(inner.a, n.R), b: mulExpr(inner.b, n.R)}, true
+			default:
+				inner, ok := linearize(n.R, x)
+				if !ok {
+					return lin{}, false
+				}
+				return lin{a: mulExpr(n.L, inner.a), b: mulExpr(n.L, inner.b)}, true
+			}
+		case val.OpDiv:
+			if usesArray(n.R, x) {
+				return lin{}, false
+			}
+			inner, ok := linearize(n.L, x)
+			if !ok {
+				return lin{}, false
+			}
+			return lin{a: divExpr(inner.a, n.R), b: divExpr(inner.b, n.R)}, true
+		}
+	}
+	return lin{}, false
+}
+
+func negExpr(e val.Expr) val.Expr {
+	if e == nil {
+		return nil
+	}
+	return &val.Unary{Op: val.OpNeg, E: e}
+}
+
+func addExpr(l, r val.Expr) val.Expr {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	return &val.Binary{Op: val.OpAdd, L: l, R: r}
+}
+
+func mulExpr(l, r val.Expr) val.Expr {
+	if l == nil || r == nil {
+		return nil
+	}
+	return &val.Binary{Op: val.OpMul, L: l, R: r}
+}
+
+func divExpr(l, r val.Expr) val.Expr {
+	if l == nil {
+		return nil
+	}
+	return &val.Binary{Op: val.OpDiv, L: l, R: r}
+}

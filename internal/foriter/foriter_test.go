@@ -1,0 +1,546 @@
+package foriter
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"staticpipe/internal/balance"
+	"staticpipe/internal/exec"
+	"staticpipe/internal/forall"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/mcm"
+	"staticpipe/internal/val"
+	"staticpipe/internal/value"
+)
+
+// example2Src is the paper's Example 2 (§4) with the final element also
+// appended by the terminating arm.
+const example2Src = `
+for
+  i : integer := 1;
+  T : array[real] := [0: 0.]
+do
+  let P : real := A[i]*T[i-1] + B[i]
+  in
+    if i < m then
+      iter T := T[i: P]; i := i + 1 enditer
+    else T[i: P]
+    endif
+  endlet
+endfor`
+
+func parseForIter(t *testing.T, src string) *val.ForIter {
+	t.Helper()
+	e, err := val.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, ok := e.(*val.ForIter)
+	if !ok {
+		t.Fatalf("parsed %T, want *val.ForIter", e)
+	}
+	return fi
+}
+
+// runLoop compiles and simulates a for-iter over the given real arrays.
+func runLoop(t *testing.T, src string, params map[string]int64,
+	ins map[string]struct {
+		lo   int64
+		vals []float64
+	}, opts Options) (*exec.Result, *Out, *graph.Graph) {
+	t.Helper()
+	fi := parseForIter(t, src)
+	g := graph.New()
+	arrays := map[string]forall.Input{}
+	for name, in := range ins {
+		srcN := g.AddSource(name, value.Reals(in.vals))
+		arrays[name] = forall.Input{Node: srcN, Lo: in.lo, Hi: in.lo + int64(len(in.vals)) - 1}
+	}
+	out, err := Compile(g, fi, params, arrays, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(out.Node, g.AddSink("out"), 0)
+	// Drain any array the loop did not reference.
+	for _, n := range g.Nodes() {
+		if n.Op == graph.OpSource && len(n.Out) == 0 {
+			g.Connect(n, g.AddSink("discard:"+n.Label), 0)
+		}
+	}
+	if _, err := balance.Balance(g); err != nil {
+		t.Fatalf("balance: %v", err)
+	}
+	res, err := exec.Run(g, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out, g
+}
+
+func example2Inputs(m int) (map[string]struct {
+	lo   int64
+	vals []float64
+}, []float64) {
+	A := make([]float64, m)
+	B := make([]float64, m)
+	for i := range A {
+		A[i] = 0.3 + 0.6*math.Sin(float64(i))
+		B[i] = float64(i%5) - 2.2
+	}
+	// reference: x_0 = 0; x_i = A_i x_{i-1} + B_i for i = 1..m
+	want := make([]float64, m+1)
+	for i := 1; i <= m; i++ {
+		want[i] = A[i-1]*want[i-1] + B[i-1]
+	}
+	return map[string]struct {
+		lo   int64
+		vals []float64
+	}{
+		"A": {1, A},
+		"B": {1, B},
+	}, want
+}
+
+func checkValues(t *testing.T, got []value.Value, want []float64, tol float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d values, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !value.Close(got[i], value.R(want[i]), tol) {
+			t.Errorf("%s: x[%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestExample2Todd reproduces Fig 7: correct results at an initiation
+// interval of exactly 3 (the paper's "initialization rate ... no higher
+// than 1/3").
+func TestExample2Todd(t *testing.T) {
+	m := 24
+	ins, want := example2Inputs(m)
+	res, out, g := runLoop(t, example2Src, map[string]int64{"m": int64(m)}, ins, Options{Scheme: Todd})
+	if out.Used != Todd {
+		t.Fatalf("scheme used: %v", out.Used)
+	}
+	if out.Lo != 0 || out.Hi != int64(m) {
+		t.Errorf("output range [%d, %d], want [0, %d]", out.Lo, out.Hi, m)
+	}
+	checkValues(t, res.Output("out"), want, 0, "Todd")
+	if ii := res.II("out"); ii != 3 {
+		t.Errorf("Todd II = %v, want 3", ii)
+	}
+	if !res.Clean {
+		t.Errorf("not clean: %v", res.Stalled)
+	}
+	// The analytical bound agrees.
+	pred, err := mcm.PredictII(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Float() != 3 {
+		t.Errorf("predicted II = %v, want 3", pred)
+	}
+}
+
+// TestExample2Companion reproduces Fig 8 / Theorem 3: the companion
+// pipeline restores the maximum rate II = 2.
+func TestExample2Companion(t *testing.T) {
+	m := 24
+	ins, want := example2Inputs(m)
+	res, out, g := runLoop(t, example2Src, map[string]int64{"m": int64(m)}, ins, Options{Scheme: Companion})
+	if out.Used != Companion {
+		t.Fatalf("scheme used: %v", out.Used)
+	}
+	if out.Rec.Kind != KindLinear {
+		t.Fatalf("kind = %v, want linear", out.Rec.Kind)
+	}
+	// Reassociated products: compare within tolerance.
+	checkValues(t, res.Output("out"), want, 1e-9, "Companion")
+	if ii := res.II("out"); ii != 2 {
+		t.Errorf("Companion II = %v, want 2 (Theorem 3)", ii)
+	}
+	if !res.Clean {
+		t.Errorf("not clean: %v", res.Stalled)
+	}
+	pred, err := mcm.PredictII(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Float() != 2 {
+		t.Errorf("predicted II = %v, want 2", pred)
+	}
+}
+
+// TestAutoSelectsCompanion checks Auto picks the fully pipelined scheme
+// for Example 2 and that the speedup over Todd is the paper's 1.5×.
+func TestAutoSelectsCompanion(t *testing.T) {
+	m := 48
+	ins, _ := example2Inputs(m)
+	params := map[string]int64{"m": int64(m)}
+	auto, out, _ := runLoop(t, example2Src, params, ins, Options{})
+	if out.Used != Companion {
+		t.Fatalf("auto chose %v", out.Used)
+	}
+	todd, _, _ := runLoop(t, example2Src, params, ins, Options{Scheme: Todd})
+	speedup := todd.II("out") / auto.II("out")
+	if speedup != 1.5 {
+		t.Errorf("speedup = %v, want 1.5 (II 3 vs 2)", speedup)
+	}
+}
+
+// TestElseWithoutAppend covers the paper's literal Example 2 shape where
+// the terminating arm returns T unchanged.
+func TestElseWithoutAppend(t *testing.T) {
+	src := `
+for i : integer := 1; T : array[real] := [0: 0.]
+do
+  if i < m then iter T := T[i: A[i]*T[i-1] + B[i]]; i := i + 1 enditer
+  else T endif
+endfor`
+	m := 12
+	ins, want := example2Inputs(m)
+	for _, scheme := range []Scheme{Todd, Companion} {
+		res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{Scheme: scheme})
+		if out.Rec.ElseAppends {
+			t.Error("ElseAppends should be false")
+		}
+		if out.Hi != int64(m-1) {
+			t.Errorf("Hi = %d, want %d", out.Hi, m-1)
+		}
+		checkValues(t, res.Output("out"), want[:m], 1e-9, scheme.String())
+	}
+}
+
+// TestSumScan exercises the linear family with A ≡ 1 (running sum).
+func TestSumScan(t *testing.T) {
+	src := `
+for i : integer := 1; S : array[real] := [0: 0.]
+do
+  if i <= m then iter S := S[i: S[i-1] + B[i]]; i := i + 1 enditer
+  else S endif
+endfor`
+	m := 16
+	B := make([]float64, m)
+	want := make([]float64, m+1)
+	for i := range B {
+		B[i] = float64(i) + 0.5
+		want[i+1] = want[i] + B[i]
+	}
+	ins := map[string]struct {
+		lo   int64
+		vals []float64
+	}{"B": {1, B}}
+	res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{})
+	if out.Used != Companion || out.Rec.Kind != KindLinear {
+		t.Fatalf("used %v on %v recurrence", out.Used, out.Rec.Kind)
+	}
+	checkValues(t, res.Output("out"), want, 1e-9, "sum scan")
+	if ii := res.II("out"); ii != 2 {
+		t.Errorf("II = %v, want 2", ii)
+	}
+}
+
+// TestMinScan exercises the min companion (G = min).
+func TestMinScan(t *testing.T) {
+	src := `
+for i : integer := 1; M : array[real] := [0: 100.]
+do
+  if i <= m then iter M := M[i: min(B[i], M[i-1])]; i := i + 1 enditer
+  else M endif
+endfor`
+	m := 20
+	B := []float64{5, 3, 8, 2, 9, 4, 7, 1, 6, 5, 5, 5, 0.5, 3, 2, 2, 2, 2, 9, -1}
+	want := make([]float64, m+1)
+	want[0] = 100
+	for i := 1; i <= m; i++ {
+		want[i] = math.Min(B[i-1], want[i-1])
+	}
+	ins := map[string]struct {
+		lo   int64
+		vals []float64
+	}{"B": {1, B}}
+	res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{})
+	if out.Used != Companion || out.Rec.Kind != KindScanMin {
+		t.Fatalf("used %v on %v recurrence", out.Used, out.Rec.Kind)
+	}
+	checkValues(t, res.Output("out"), want, 0, "min scan")
+	if ii := res.II("out"); ii != 2 {
+		t.Errorf("II = %v, want 2", ii)
+	}
+}
+
+// TestGeneralRecurrenceFallsBack covers recurrences without a known
+// companion: Auto uses Todd; requesting Companion errors.
+func TestGeneralRecurrenceFallsBack(t *testing.T) {
+	src := `
+for i : integer := 1; X : array[real] := [0: 1.]
+do
+  if i <= m then iter X := X[i: B[i] / (X[i-1] + A[i])]; i := i + 1 enditer
+  else X endif
+endfor`
+	m := 10
+	ins, _ := example2Inputs(m)
+	res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{})
+	if out.Used != Todd || out.Rec.Kind != KindGeneral {
+		t.Fatalf("used %v on %v", out.Used, out.Rec.Kind)
+	}
+	A, B := ins["A"].vals, ins["B"].vals
+	want := make([]float64, m+1)
+	want[0] = 1
+	for i := 1; i <= m; i++ {
+		want[i] = B[i-1] / (want[i-1] + A[i-1])
+	}
+	checkValues(t, res.Output("out"), want, 1e-12, "general")
+	// Division makes the Todd cycle longer: DIV + ADD + MERGE = 3 cells.
+	if ii := res.II("out"); ii != 3 {
+		t.Errorf("II = %v, want 3", ii)
+	}
+
+	fi := parseForIter(t, src)
+	g := graph.New()
+	arrays := map[string]forall.Input{}
+	for name, in := range ins {
+		arrays[name] = forall.Input{Node: g.AddSource(name, value.Reals(in.vals)), Lo: in.lo, Hi: in.lo + int64(len(in.vals)) - 1}
+	}
+	if _, err := Compile(g, fi, map[string]int64{"m": int64(m)}, arrays, Options{Scheme: Companion}); err == nil {
+		t.Error("companion scheme accepted a recurrence without a companion function")
+	}
+}
+
+// TestNoSelfDependence covers loops that build an array without consuming
+// it — no cycle at all.
+func TestNoSelfDependence(t *testing.T) {
+	src := `
+for i : integer := 1; X : array[real] := [0: 0.]
+do
+  if i <= m then iter X := X[i: A[i] * 2.]; i := i + 1 enditer
+  else X endif
+endfor`
+	m := 8
+	ins, _ := example2Inputs(m)
+	res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{})
+	if out.Rec.Kind != KindGeneral {
+		t.Fatalf("kind %v", out.Rec.Kind)
+	}
+	want := make([]float64, m+1)
+	for i := 1; i <= m; i++ {
+		want[i] = ins["A"].vals[i-1] * 2
+	}
+	checkValues(t, res.Output("out"), want, 0, "independent")
+	// With no feedback the merge just sequences; the paper's maximum rate
+	// applies.
+	if ii := res.II("out"); ii != 2 {
+		t.Errorf("II = %v, want 2", ii)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	fi := parseForIter(t, example2Src)
+	rec, err := Extract(fi, map[string]int64{"m": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counter != "i" || rec.X != "T" || rec.P != 1 || rec.R != 0 {
+		t.Errorf("extracted %+v", rec)
+	}
+	if rec.T != 9 || !rec.ElseAppends || rec.Q != 10 {
+		t.Errorf("bounds: T=%d ElseAppends=%v Q=%d", rec.T, rec.ElseAppends, rec.Q)
+	}
+	if rec.Kind != KindLinear {
+		t.Fatalf("kind %v", rec.Kind)
+	}
+	if rec.AExpr == nil || !strings.Contains(rec.AExpr.String(), "A[i]") {
+		t.Errorf("AExpr = %v", rec.AExpr)
+	}
+	if rec.BExpr == nil || !strings.Contains(rec.BExpr.String(), "B[i]") {
+		t.Errorf("BExpr = %v", rec.BExpr)
+	}
+	if rec.N() != 10 {
+		t.Errorf("N = %d", rec.N())
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"one var", `for i : integer := 0 do if i < 3 then iter i := i+1 enditer else [0: 1.] endif endfor`, "two loop variables"},
+		{"bad seed index", `for i : integer := 1; T : array[real] := [5: 0.] do if i < 3 then iter T := T[i: 1.]; i := i+1 enditer else T endif endfor`, "seed index"},
+		{"nonmanifest bound", `for i : integer := 1; T : array[real] := [0: 0.] do if i < k then iter T := T[i: 1.]; i := i+1 enditer else T endif endfor`, "not manifest"},
+		{"bad step", `for i : integer := 1; T : array[real] := [0: 0.] do if i < 3 then iter T := T[i: 1.]; i := i+2 enditer else T endif endfor`, "advance"},
+		{"bad append index", `for i : integer := 1; T : array[real] := [0: 0.] do if i < 3 then iter T := T[i+1: 1.]; i := i+1 enditer else T endif endfor`, "append index"},
+		{"iter in else", `for i : integer := 1; T : array[real] := [0: 0.] do if i < 3 then T else iter T := T[i: 1.]; i := i+1 enditer endif endfor`, "then arm"},
+		{"wrong result", `for i : integer := 1; T : array[real] := [0: 0.]; do if i < 3 then iter T := T[i: 1.]; i := i+1 enditer else i endif endfor`, ""},
+		{"x offset", `for i : integer := 1; T : array[real] := [0: 0.] do if i < 3 then iter T := T[i: T[i-2] + 1.]; i := i+1 enditer else T endif endfor`, "T[i-1]"},
+		{"no iterations", `for i : integer := 5; T : array[real] := [4: 0.] do if i < 3 then iter T := T[i: 1.]; i := i+1 enditer else T endif endfor`, "no iterations"},
+		{"mismatched final", `for i : integer := 1; T : array[real] := [0: 0.] do if i < 3 then iter T := T[i: 1.]; i := i+1 enditer else T[i: 2.] endif endfor`, "differs"},
+		{"body not if", `for i : integer := 1; T : array[real] := [0: 0.] do 1. endfor`, "conditional"},
+		{"ge cond", `for i : integer := 1; T : array[real] := [0: 0.] do if i > 3 then iter T := T[i: 1.]; i := i+1 enditer else T endif endfor`, "< or <="},
+	}
+	for _, c := range cases {
+		fi := parseForIter(t, c.src)
+		_, err := Extract(fi, nil)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestKindDetection(t *testing.T) {
+	cases := []struct {
+		body string
+		want Kind
+	}{
+		{"T[i-1] + B[i]", KindLinear},
+		{"A[i]*T[i-1] + B[i]", KindLinear},
+		{"A[i]*T[i-1]", KindLinear},
+		{"-T[i-1]", KindLinear},
+		{"(T[i-1] + B[i]) / 2.", KindLinear},
+		{"B[i] - T[i-1]*A[i]", KindLinear},
+		{"min(B[i], T[i-1])", KindScanMin},
+		{"max(T[i-1], B[i])", KindScanMax},
+		{"T[i-1] * T[i-1]", KindGeneral},
+		{"B[i] / T[i-1]", KindGeneral},
+		{"min(T[i-1], T[i-1])", KindGeneral},
+		{"abs(T[i-1])", KindGeneral},
+		{"B[i]", KindGeneral},
+	}
+	for _, c := range cases {
+		src := `for i : integer := 1; T : array[real] := [0: 1.]
+		  do if i < 5 then iter T := T[i: ` + c.body + `]; i := i+1 enditer else T endif endfor`
+		fi := parseForIter(t, src)
+		rec, err := Extract(fi, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.body, err)
+		}
+		if rec.Kind != c.want {
+			t.Errorf("%s: kind %v, want %v", c.body, rec.Kind, c.want)
+		}
+	}
+}
+
+func TestLetDefsInlined(t *testing.T) {
+	// Definitions referencing each other inline transitively.
+	src := `
+for i : integer := 1; T : array[real] := [0: 0.]
+do
+  let u : real := A[i] * 2.; P : real := u * T[i-1] + B[i]
+  in if i <= m then iter T := T[i: P]; i := i+1 enditer else T endif
+  endlet
+endfor`
+	m := 10
+	ins, _ := example2Inputs(m)
+	res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{})
+	if out.Rec.Kind != KindLinear || out.Used != Companion {
+		t.Fatalf("kind %v used %v", out.Rec.Kind, out.Used)
+	}
+	A, B := ins["A"].vals, ins["B"].vals
+	want := make([]float64, m+1)
+	for i := 1; i <= m; i++ {
+		want[i] = A[i-1]*2*want[i-1] + B[i-1]
+	}
+	checkValues(t, res.Output("out"), want, 1e-9, "let defs")
+}
+
+func TestSchemeString(t *testing.T) {
+	if Todd.String() != "todd" || Companion.String() != "companion" || Auto.String() != "auto" {
+		t.Error("scheme strings")
+	}
+	if KindLinear.String() != "linear" || KindGeneral.String() != "general" ||
+		KindScanMin.String() != "min-scan" || KindScanMax.String() != "max-scan" {
+		t.Error("kind strings")
+	}
+}
+
+// TestToddComplexBody exercises Todd's scheme on a loop body with
+// conditionals, unary operators, and shadowed definitions — the general
+// case where no companion is recognized.
+func TestToddComplexBody(t *testing.T) {
+	src := `
+for i : integer := 1; X : array[real] := [0: 0.5]
+do
+  let u : real := A[i] - B[i];
+      u : real := -u
+  in if i <= m then
+       iter X := X[i: if u > 0. then abs(X[i-1]) * u else X[i-1] - u endif]; i := i + 1 enditer
+     else X endif
+  endlet
+endfor`
+	m := 14
+	ins, _ := example2Inputs(m)
+	res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{})
+	if out.Used != Todd || out.Rec.Kind != KindGeneral {
+		t.Fatalf("used %v kind %v", out.Used, out.Rec.Kind)
+	}
+	A, B := ins["A"].vals, ins["B"].vals
+	want := make([]float64, m+1)
+	want[0] = 0.5
+	for i := 1; i <= m; i++ {
+		u := -(A[i-1] - B[i-1])
+		if u > 0 {
+			want[i] = math.Abs(want[i-1]) * u
+		} else {
+			want[i] = want[i-1] - u
+		}
+	}
+	checkValues(t, res.Output("out"), want, 1e-12, "complex body")
+}
+
+// TestCompanionCoefficientsWithOffsets uses shifted array references in
+// the coefficients (covers subscript normal forms c+i, i+c, i-c).
+func TestCompanionCoefficientsWithOffsets(t *testing.T) {
+	src := `
+for i : integer := 2; X : array[real] := [1: 0.]
+do
+  if i < m then
+    iter X := X[i: A[i-1]*X[i-1] + B[1+i]]; i := i + 1 enditer
+  else X[i: A[i-1]*X[i-1] + B[1+i]] endif
+endfor`
+	m := 12
+	ins, _ := example2Inputs(m + 2)
+	res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{})
+	if out.Used != Companion || out.Rec.Kind != KindLinear {
+		t.Fatalf("used %v kind %v", out.Used, out.Rec.Kind)
+	}
+	A, B := ins["A"].vals, ins["B"].vals // declared over [1, m+2]
+	// X has range [1, m]: x_1 = 0 (seed), x_i = A[i-1]·x_{i-1} + B[i+1]
+	// for i = 2..m (the else arm appends the final element at i = m).
+	want := make([]float64, m) // want[k] = x_{k+1}
+	for i := 2; i <= m; i++ {
+		want[i-1] = A[i-2]*want[i-2] + B[i] // A[i-1] -> vals[i-2], B[1+i] -> vals[i]
+	}
+	checkValues(t, res.Output("out"), want, 1e-9, "offset coefficients")
+	if ii := res.II("out"); ii != 2 {
+		t.Errorf("II = %v, want 2", ii)
+	}
+}
+
+// TestMaxScanWithExpression covers the max-scan companion with a computed
+// argument.
+func TestMaxScanWithExpression(t *testing.T) {
+	src := `
+for i : integer := 1; M : array[real] := [0: -10.]
+do
+  if i <= m then iter M := M[i: max(M[i-1], A[i] * B[i])]; i := i + 1 enditer
+  else M endif
+endfor`
+	m := 18
+	ins, _ := example2Inputs(m)
+	res, out, _ := runLoop(t, src, map[string]int64{"m": int64(m)}, ins, Options{})
+	if out.Rec.Kind != KindScanMax || out.Used != Companion {
+		t.Fatalf("kind %v used %v", out.Rec.Kind, out.Used)
+	}
+	A, B := ins["A"].vals, ins["B"].vals
+	want := make([]float64, m+1)
+	want[0] = -10
+	for i := 1; i <= m; i++ {
+		want[i] = math.Max(want[i-1], A[i-1]*B[i-1])
+	}
+	checkValues(t, res.Output("out"), want, 0, "max scan expr")
+}

@@ -1,0 +1,129 @@
+package foriter
+
+import (
+	"testing"
+
+	"staticpipe/internal/exec"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/mcm"
+	"staticpipe/internal/recurrence"
+	"staticpipe/internal/value"
+)
+
+// runInterleaved builds and simulates R interleaved rows of n steps each.
+func runInterleaved(t *testing.T, rows, n int) (*exec.Result, [][]float64) {
+	t.Helper()
+	params := make([][]recurrence.Param, rows)
+	inits := make([]value.Value, rows)
+	for r := range params {
+		params[r] = make([]recurrence.Param, n)
+		for i := range params[r] {
+			params[r][i] = recurrence.Param{
+				A: 0.5 + float64((i+r)%3)/4,
+				B: float64(i%4) - 1.5 + float64(r)/8,
+			}
+		}
+		inits[r] = value.R(float64(r))
+	}
+	// Interleave the parameter streams.
+	a := make([]value.Value, 0, rows*n)
+	b := make([]value.Value, 0, rows*n)
+	for i := 0; i < n; i++ {
+		for r := 0; r < rows; r++ {
+			a = append(a, value.R(params[r][i].A))
+			b = append(b, value.R(params[r][i].B))
+		}
+	}
+	g := graph.New()
+	aN := g.AddSource("a", a)
+	bN := g.AddSource("b", b)
+	out, err := InterleavedLinear(g, "x", rows, n, aN, bN, inits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(out, g.AddSink("x"), 0)
+	res, err := exec.Run(g, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]float64, rows)
+	for r := range want {
+		want[r] = recurrence.Sequential(inits[r].AsReal(), params[r])
+	}
+	return res, want
+}
+
+// TestInterleavedCorrect validates the §9 construction row by row.
+func TestInterleavedCorrect(t *testing.T) {
+	for _, rows := range []int{2, 3, 4, 8} {
+		n := 16
+		res, want := runInterleaved(t, rows, n)
+		got := res.Output("x")
+		if len(got) != rows*(n+1) {
+			t.Fatalf("rows=%d: %d outputs, want %d", rows, len(got), rows*(n+1))
+		}
+		for i := 0; i <= n; i++ {
+			for r := 0; r < rows; r++ {
+				g := got[i*rows+r].AsReal()
+				if !value.Close(value.R(g), value.R(want[r][i]), 1e-9) {
+					t.Errorf("rows=%d: x_%d^%d = %v, want %v", rows, i, r, g, want[r][i])
+				}
+			}
+		}
+		if !res.Clean {
+			t.Errorf("rows=%d: not clean: %v", rows, res.Stalled)
+		}
+	}
+}
+
+// TestInterleavedMaxRate is the §9 claim: the FIFO-extended loop sustains
+// the maximum rate (II = 2 per element) where the plain Todd loop runs at
+// II = 3 — trading per-row latency for aggregate throughput.
+func TestInterleavedMaxRate(t *testing.T) {
+	for _, rows := range []int{2, 4, 8} {
+		res, _ := runInterleaved(t, rows, 32)
+		if ii := res.II("x"); ii != 2 {
+			t.Errorf("rows=%d: II = %v, want 2", rows, ii)
+		}
+	}
+}
+
+func TestInterleavedPrediction(t *testing.T) {
+	rows, n := 4, 8
+	g := graph.New()
+	a := make([]value.Value, rows*n)
+	b := make([]value.Value, rows*n)
+	for i := range a {
+		a[i] = value.R(0.5)
+		b[i] = value.R(1)
+	}
+	aN := g.AddSource("a", a)
+	bN := g.AddSource("b", b)
+	out, err := InterleavedLinear(g, "x", rows, n, aN, bN,
+		value.Reals(make([]float64, rows)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(out, g.AddSink("x"), 0)
+	pred, err := mcm.PredictII(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Float() != 2 {
+		t.Errorf("predicted II = %v, want 2", pred)
+	}
+}
+
+func TestInterleavedErrors(t *testing.T) {
+	g := graph.New()
+	src := g.AddSource("a", value.Reals([]float64{1}))
+	if _, err := InterleavedLinear(g, "x", 1, 4, src, src, value.Reals([]float64{0})); err == nil {
+		t.Error("rows=1 accepted")
+	}
+	if _, err := InterleavedLinear(g, "x", 2, 4, src, src, value.Reals([]float64{0})); err == nil {
+		t.Error("wrong init count accepted")
+	}
+	if _, err := InterleavedLinear(g, "x", 2, 0, src, src, value.Reals([]float64{0, 0})); err == nil {
+		t.Error("zero steps accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package graph
+
+import "testing"
+
+// FuzzUnmarshal asserts the graph loader never panics on arbitrary input:
+// it either reconstructs a valid graph or returns an error.
+func FuzzUnmarshal(f *testing.F) {
+	if data, err := buildLoopy().Marshal(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"format":"staticpipe-graph/1","nodes":[],"arcs":[]}`))
+	f.Add([]byte(`{"format":"staticpipe-graph/1","nodes":[{"op":1,"ports":1}],"arcs":[{"from":0,"to":0,"port":0}]}`))
+	f.Add([]byte("{}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// A successfully loaded graph must be valid and re-marshalable.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Unmarshal returned an invalid graph: %v", err)
+		}
+		if _, err := g.Marshal(); err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+	})
+}

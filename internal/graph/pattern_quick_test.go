@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any finite pattern, Len agrees with Values and At agrees
+// element-wise — the invariants every control generator relies on.
+func TestQuickPatternConsistency(t *testing.T) {
+	f := func(prefix []bool, body []bool, repeat uint8, suffix []bool) bool {
+		p := Pattern{Prefix: prefix, Body: body, Repeat: int(repeat % 40), Suffix: suffix}
+		vals := p.Values()
+		if len(vals) != p.Len() {
+			return false
+		}
+		for i, v := range vals {
+			if p.At(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an infinite pattern repeats its body forever.
+func TestQuickPatternInfinite(t *testing.T) {
+	f := func(prefix []bool, body []bool) bool {
+		if len(body) == 0 {
+			return true
+		}
+		p := Pattern{Prefix: prefix, Body: body, Repeat: -1}
+		if p.Len() != -1 {
+			return false
+		}
+		for i := 0; i < 3*len(body); i++ {
+			if p.At(len(prefix)+i) != body[i%len(body)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,712 @@
+// Package machine is a cycle-accurate packet-level simulator of the static
+// dataflow architecture of §2 (Fig 1): processing elements (PE) holding
+// instruction cells, pipelined function units (FU) executing shipped
+// arithmetic, array memory units (AM) sourcing and sinking array streams,
+// and a packet-switched routing network carrying operation, result, and
+// acknowledge packets.
+//
+// Where package exec abstracts time to the firing discipline (one firing
+// per two cycles is the maximum), this simulator exposes the machine
+// effects the paper's §2 discusses: PE instruction bandwidth, function-unit
+// latency, network transit and contention, and the split of packet traffic
+// between processing elements and array memories ("one eighth or less of
+// the operation packets would be sent to the array memories").
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"staticpipe/internal/exec"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/value"
+)
+
+// Assignment selects the instruction-cell → PE mapping strategy.
+type Assignment int
+
+const (
+	// RoundRobin deals cells across PEs by cell id.
+	RoundRobin Assignment = iota
+	// Random shuffles cells across PEs (Config.Seed).
+	Random
+	// ByStage assigns contiguous runs of cell ids to each PE, which for
+	// compiler-emitted graphs approximates grouping pipeline stages.
+	ByStage
+)
+
+func (a Assignment) String() string {
+	switch a {
+	case Random:
+		return "random"
+	case ByStage:
+		return "by-stage"
+	default:
+		return "round-robin"
+	}
+}
+
+// NetworkKind selects the routing-network model.
+type NetworkKind int
+
+const (
+	// Crossbar has a fixed transit delay and per-endpoint delivery
+	// serialization.
+	Crossbar NetworkKind = iota
+	// Butterfly is a log-stage packet-switched delta network of 2×2
+	// switches [2].
+	Butterfly
+)
+
+func (n NetworkKind) String() string {
+	if n == Butterfly {
+		return "butterfly"
+	}
+	return "crossbar"
+}
+
+// Config describes the machine.
+type Config struct {
+	// PEs is the processing-element count (default 4). Each PE retires at
+	// most one enabled instruction per cycle.
+	PEs int
+	// FUs is the function-unit count (default 2). FUs are pipelined:
+	// initiation one operation per cycle, completion after the op's
+	// latency.
+	FUs int
+	// AMs is the array-memory unit count (default 1). Sources and sinks —
+	// the long-lived arrays — reside in AMs; each AM performs one access
+	// per cycle.
+	AMs int
+	// MulLatency and AddLatency configure FU pipeline depths (defaults 4
+	// and 2). Mul covers MULT/DIV, Add covers ADD/SUB/MIN/MAX/NEG/ABS.
+	MulLatency int
+	AddLatency int
+	// Network selects the RN model; NetDelay is the crossbar transit
+	// delay (default 2).
+	Network  NetworkKind
+	NetDelay int
+	// SplitNetworks uses two separate fabrics as Fig 1 draws them: one
+	// routing network carrying operation packets to the function units and
+	// array memories, and one distribution network carrying result and
+	// acknowledge packets back to instruction cells.
+	SplitNetworks bool
+	// Assign selects cell placement; Seed drives Random.
+	Assign Assignment
+	Seed   int64
+	// MaxCycles bounds the run (default 10M).
+	MaxCycles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PEs <= 0 {
+		c.PEs = 4
+	}
+	if c.FUs <= 0 {
+		c.FUs = 2
+	}
+	if c.AMs <= 0 {
+		c.AMs = 1
+	}
+	if c.MulLatency <= 0 {
+		c.MulLatency = 4
+	}
+	if c.AddLatency <= 0 {
+		c.AddLatency = 2
+	}
+	if c.NetDelay <= 0 {
+		c.NetDelay = 2
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 10_000_000
+	}
+	return c
+}
+
+// Result holds a machine run's outcome and statistics.
+type Result struct {
+	Cycles   int
+	Outputs  map[string][]value.Value
+	Arrivals map[string][]exec.Arrival
+	// Packets counts routed traffic by kind.
+	Packets map[string]int
+	// AMPackets counts packets delivered to or sent from array memory
+	// units; TotalPackets is all routed traffic.
+	AMPackets    int
+	TotalPackets int
+	// PEBusy counts instruction retirements per PE; FUBusy counts
+	// operations initiated per FU.
+	PEBusy []int
+	FUBusy []int
+	Clean  bool
+	// Stalled carries diagnostics if the machine quiesced with work left.
+	Stalled []string
+}
+
+// Output returns the stream received by the sink with the given label.
+func (r *Result) Output(label string) []value.Value { return r.Outputs[label] }
+
+// II returns the steady-state initiation interval at the named sink
+// (middle-half measurement, as exec.Result.II).
+func (r *Result) II(label string) float64 {
+	arr := r.Arrivals[label]
+	if len(arr) < 2 {
+		return 0
+	}
+	lo, hi := 0, len(arr)-1
+	if len(arr) >= 8 {
+		lo, hi = len(arr)/4, 3*len(arr)/4
+	}
+	return float64(arr[hi].Cycle-arr[lo].Cycle) / float64(hi-lo)
+}
+
+// AMFraction returns the share of routed packets touching array memory.
+func (r *Result) AMFraction() float64 {
+	if r.TotalPackets == 0 {
+		return 0
+	}
+	return float64(r.AMPackets) / float64(r.TotalPackets)
+}
+
+// Utilization returns mean PE busy fraction.
+func (r *Result) Utilization() float64 {
+	if r.Cycles == 0 || len(r.PEBusy) == 0 {
+		return 0
+	}
+	total := 0
+	for _, b := range r.PEBusy {
+		total += b
+	}
+	return float64(total) / float64(r.Cycles*len(r.PEBusy))
+}
+
+// cell is the machine-resident state of one instruction cell.
+type cell struct {
+	node        *graph.Node
+	endpoint    int
+	inTok       []*value.Value
+	pendingAcks int
+	srcPos      int
+}
+
+// fu is one pipelined function unit.
+type fu struct {
+	queue    []*packet // operation packets awaiting initiation
+	inflight []fuJob
+}
+
+type fuJob struct {
+	doneAt  int
+	result  value.Value
+	targets []target
+	srcCell int
+}
+
+// machine is the full simulator state.
+type machine struct {
+	cfg   Config
+	g     *graph.Graph
+	cells []*cell
+	// residents[e] lists cell ids hosted by endpoint e (PEs and AMs).
+	residents map[int][]int
+	rrNext    map[int]int
+	net       network   // distribution network (results, acks); all traffic when not split
+	opNet     network   // routing network for operation packets (nil unless SplitNetworks)
+	localNext []*packet // same-endpoint packets delivered next cycle
+	fus       []*fu
+	res       *Result
+	inflight  int // local packets in flight
+	fuSeq     int
+}
+
+// endpoint layout: [0, PEs) compute PEs, [PEs, PEs+FUs) function units,
+// [PEs+FUs, PEs+FUs+AMs) array memories.
+func (m *machine) fuEndpoint(i int) int { return m.cfg.PEs + i }
+func (m *machine) amEndpoint(i int) int { return m.cfg.PEs + m.cfg.FUs + i }
+func (m *machine) numEndpoints() int    { return m.cfg.PEs + m.cfg.FUs + m.cfg.AMs }
+func (m *machine) isAM(e int) bool      { return e >= m.cfg.PEs+m.cfg.FUs }
+
+// Run simulates the graph on the configured machine.
+func Run(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g = g.ExpandFIFOs()
+	m := &machine{
+		cfg:       cfg,
+		g:         g,
+		residents: map[int][]int{},
+		rrNext:    map[int]int{},
+		res: &Result{
+			Outputs:  map[string][]value.Value{},
+			Arrivals: map[string][]exec.Arrival{},
+			Packets:  map[string]int{},
+			PEBusy:   make([]int, cfg.PEs),
+			FUBusy:   make([]int, cfg.FUs),
+		},
+	}
+	mkNet := func() network {
+		if cfg.Network == Butterfly {
+			return newButterfly(m.numEndpoints())
+		}
+		return newCrossbar(m.numEndpoints(), cfg.NetDelay)
+	}
+	m.net = mkNet()
+	if cfg.SplitNetworks {
+		m.opNet = mkNet()
+	}
+	for i := 0; i < cfg.FUs; i++ {
+		m.fus = append(m.fus, &fu{})
+	}
+	m.place()
+	for _, n := range g.Nodes() {
+		if n.Op == graph.OpSink {
+			if _, dup := m.res.Outputs[n.Label]; dup {
+				return nil, fmt.Errorf("machine: duplicate sink label %q", n.Label)
+			}
+			m.res.Outputs[n.Label] = nil
+			m.res.Arrivals[n.Label] = nil
+		}
+	}
+	// initial tokens
+	for _, a := range g.Arcs() {
+		if a.Init != nil {
+			tok := *a.Init
+			m.cells[a.To].inTok[a.ToPort] = &tok
+		}
+	}
+
+	cycle := 0
+	for ; cycle < cfg.MaxCycles; cycle++ {
+		if !m.step(cycle) {
+			break
+		}
+	}
+	if cycle >= cfg.MaxCycles {
+		return nil, fmt.Errorf("machine: no quiescence after %d cycles", cfg.MaxCycles)
+	}
+	m.res.Cycles = cycle
+	m.res.Clean, m.res.Stalled = m.drainState()
+	return m.res, nil
+}
+
+// place assigns cells to endpoints: sources and sinks to AMs, everything
+// else per the configured strategy.
+func (m *machine) place() {
+	m.cells = make([]*cell, m.g.NumNodes())
+	var computeIDs []int
+	amNext := 0
+	for _, n := range m.g.Nodes() {
+		c := &cell{node: n, inTok: make([]*value.Value, len(n.In))}
+		m.cells[n.ID] = c
+		if n.Op == graph.OpSource || n.Op == graph.OpSink {
+			c.endpoint = m.amEndpoint(amNext % m.cfg.AMs)
+			amNext++
+			m.residents[c.endpoint] = append(m.residents[c.endpoint], int(n.ID))
+			continue
+		}
+		computeIDs = append(computeIDs, int(n.ID))
+	}
+	var peOf func(i, id int) int
+	switch m.cfg.Assign {
+	case Random:
+		rng := rand.New(rand.NewSource(m.cfg.Seed + 1))
+		peOf = func(i, id int) int { return rng.Intn(m.cfg.PEs) }
+	case ByStage:
+		per := (len(computeIDs) + m.cfg.PEs - 1) / m.cfg.PEs
+		if per == 0 {
+			per = 1
+		}
+		peOf = func(i, id int) int { return min(i/per, m.cfg.PEs-1) }
+	default:
+		peOf = func(i, id int) int { return i % m.cfg.PEs }
+	}
+	for i, id := range computeIDs {
+		pe := peOf(i, id)
+		m.cells[id].endpoint = pe
+		m.residents[pe] = append(m.residents[pe], id)
+	}
+}
+
+// step advances one machine cycle; it reports whether any activity
+// remains.
+func (m *machine) step(now int) bool {
+	active := false
+
+	// 1. Network delivery.
+	delivered := m.net.step()
+	for _, p := range delivered {
+		m.deliver(p, now)
+		active = true
+	}
+	if m.opNet != nil {
+		for _, p := range m.opNet.step() {
+			m.deliver(p, now)
+			active = true
+		}
+	}
+	// local same-endpoint deliveries scheduled last cycle
+	locals := m.localNext
+	m.localNext = nil
+	for _, p := range locals {
+		m.deliver(p, now)
+		m.inflight--
+		active = true
+	}
+
+	// 2. Function units: complete and initiate.
+	for fi, f := range m.fus {
+		rest := f.inflight[:0]
+		for _, job := range f.inflight {
+			if job.doneAt <= now {
+				for _, tgt := range job.targets {
+					m.emit(&packet{
+						kind: pktResult, src: m.fuEndpoint(fi), dst: tgt.endpoint,
+						cell: tgt.cell, port: tgt.port, val: job.result,
+					})
+				}
+			} else {
+				rest = append(rest, job)
+				active = true
+			}
+		}
+		f.inflight = rest
+		if len(f.queue) > 0 {
+			p := f.queue[0]
+			f.queue = f.queue[1:]
+			lat := m.latencyOf(graph.Op(p.op.opcode))
+			f.inflight = append(f.inflight, fuJob{
+				doneAt:  now + lat,
+				result:  exec.ApplyOp(graph.Op(p.op.opcode), p.op.vals),
+				targets: p.op.targets,
+				srcCell: p.op.srcCell,
+			})
+			m.res.FUBusy[fi]++
+			active = true
+		}
+	}
+
+	// 3. PEs and AMs each retire one enabled instruction.
+	for e := 0; e < m.numEndpoints(); e++ {
+		ids := m.residents[e]
+		if len(ids) == 0 {
+			continue
+		}
+		start := m.rrNext[e]
+		for k := 0; k < len(ids); k++ {
+			id := ids[(start+k)%len(ids)]
+			if m.fire(m.cells[id], now) {
+				m.rrNext[e] = (start + k + 1) % len(ids)
+				if e < m.cfg.PEs {
+					m.res.PEBusy[e]++
+				}
+				active = true
+				break
+			}
+		}
+	}
+
+	if m.net.pending() > 0 || m.inflight > 0 {
+		active = true
+	}
+	if m.opNet != nil && m.opNet.pending() > 0 {
+		active = true
+	}
+	return active
+}
+
+func (m *machine) latencyOf(op graph.Op) int {
+	switch op {
+	case graph.OpMul, graph.OpDiv:
+		return m.cfg.MulLatency
+	default:
+		return m.cfg.AddLatency
+	}
+}
+
+// emit routes a packet, short-circuiting same-endpoint traffic with a
+// one-cycle local delay.
+func (m *machine) emit(p *packet) {
+	m.res.Packets[p.kind.String()]++
+	m.res.TotalPackets++
+	if m.isAM(p.src) || m.isAM(p.dst) {
+		m.res.AMPackets++
+	}
+	if p.src == p.dst {
+		m.localNext = append(m.localNext, p)
+		m.inflight++
+		return
+	}
+	if m.opNet != nil && p.kind == pktOp {
+		m.opNet.send(p)
+		return
+	}
+	m.net.send(p)
+}
+
+// deliver applies an arrived packet to its destination.
+func (m *machine) deliver(p *packet, now int) {
+	switch p.kind {
+	case pktAck:
+		m.cells[p.cell].pendingAcks--
+	case pktResult:
+		c := m.cells[p.cell]
+		if c.inTok[p.port] != nil {
+			panic(fmt.Sprintf("machine: operand slot collision at %s port %d", c.node.Name(), p.port))
+		}
+		v := p.val
+		c.inTok[p.port] = &v
+	case pktOp:
+		fi := p.dst - m.cfg.PEs
+		m.fus[fi].queue = append(m.fus[fi].queue, p)
+	}
+}
+
+// operand returns the value at port p (literal or held token).
+func (c *cell) operand(p int) *value.Value {
+	if c.node.In[p].Literal != nil {
+		return c.node.In[p].Literal
+	}
+	return c.inTok[p]
+}
+
+// fire attempts to retire cell c; it reports whether it fired.
+func (m *machine) fire(c *cell, now int) bool {
+	if c.pendingAcks > 0 {
+		return false
+	}
+	n := c.node
+
+	var (
+		consume  []int // ports whose tokens are consumed
+		out      value.Value
+		produced bool
+		advance  bool
+		sink     bool
+	)
+	switch n.Op {
+	case graph.OpSource:
+		if c.srcPos >= len(n.Stream) {
+			return false
+		}
+		out = n.Stream[c.srcPos]
+		produced = true
+		advance = true
+	case graph.OpCtlGen:
+		total := n.Pattern.Len()
+		if total >= 0 && c.srcPos >= total {
+			return false
+		}
+		out = value.B(n.Pattern.At(c.srcPos))
+		produced = true
+		advance = true
+	case graph.OpSink:
+		v := c.operand(0)
+		if v == nil {
+			return false
+		}
+		out = *v
+		sink = true
+		consume = append(consume, 0)
+	case graph.OpMerge:
+		ctl := c.operand(0)
+		if ctl == nil {
+			return false
+		}
+		sel := 2
+		if ctl.AsBool() {
+			sel = 1
+		}
+		v := c.operand(sel)
+		if v == nil {
+			return false
+		}
+		for p := 3; p < len(n.In); p++ {
+			if c.operand(p) == nil {
+				return false
+			}
+		}
+		out = *v
+		produced = true
+		consume = append(consume, 0, sel)
+		for p := 3; p < len(n.In); p++ {
+			consume = append(consume, p)
+		}
+	case graph.OpTGate, graph.OpFGate:
+		ctl := c.operand(0)
+		data := c.operand(1)
+		if ctl == nil || data == nil {
+			return false
+		}
+		for p := 2; p < len(n.In); p++ {
+			if c.operand(p) == nil {
+				return false
+			}
+		}
+		pass := ctl.AsBool()
+		if n.Op == graph.OpFGate {
+			pass = !pass
+		}
+		out = *data
+		produced = pass
+		for p := 0; p < len(n.In); p++ {
+			consume = append(consume, p)
+		}
+	default:
+		vals := make([]value.Value, len(n.In))
+		for p := range n.In {
+			v := c.operand(p)
+			if v == nil {
+				return false
+			}
+			vals[p] = *v
+		}
+		for p := range n.In {
+			consume = append(consume, p)
+		}
+		if n.Op.IsArith() {
+			return m.fireArith(c, vals, now)
+		}
+		out = exec.ApplyOp(n.Op, vals)
+		produced = true
+	}
+
+	// Destination list (gates evaluated against held operands).
+	var targets []target
+	if produced {
+		for _, a := range n.Out {
+			write := true
+			if a.Gate != graph.NoGate {
+				gv := c.operand(a.Gate)
+				if gv == nil {
+					return false
+				}
+				write = gv.AsBool()
+			}
+			if write {
+				targets = append(targets, target{
+					endpoint: m.cells[a.To].endpoint, cell: int(a.To), port: a.ToPort,
+				})
+			}
+		}
+	}
+
+	m.commitConsume(c, consume)
+	if advance {
+		c.srcPos++
+	}
+	if sink {
+		m.res.Outputs[n.Label] = append(m.res.Outputs[n.Label], out)
+		m.res.Arrivals[n.Label] = append(m.res.Arrivals[n.Label], exec.Arrival{Cycle: now, Val: out})
+	}
+	c.pendingAcks = len(targets)
+	for _, tgt := range targets {
+		m.emit(&packet{kind: pktResult, src: c.endpoint, dst: tgt.endpoint,
+			cell: tgt.cell, port: tgt.port, val: out})
+	}
+	return true
+}
+
+// fireArith ships an operation packet to a function unit; the FU sends the
+// result packets. The cell still owes acknowledgments for every
+// destination it targeted.
+func (m *machine) fireArith(c *cell, vals []value.Value, now int) bool {
+	n := c.node
+	var targets []target
+	for _, a := range n.Out {
+		write := true
+		if a.Gate != graph.NoGate {
+			gv := c.operand(a.Gate)
+			if gv == nil {
+				return false
+			}
+			write = gv.AsBool()
+		}
+		if write {
+			targets = append(targets, target{
+				endpoint: m.cells[a.To].endpoint, cell: int(a.To), port: a.ToPort,
+			})
+		}
+	}
+	var consume []int
+	for p := range n.In {
+		consume = append(consume, p)
+	}
+	m.commitConsume(c, consume)
+	c.pendingAcks = len(targets)
+	fi := m.fuSeq % m.cfg.FUs
+	m.fuSeq++
+	m.emit(&packet{
+		kind: pktOp, src: c.endpoint, dst: m.fuEndpoint(fi),
+		op: opPayload{opcode: uint8(n.Op), vals: vals, targets: targets, srcCell: int(n.ID)},
+	})
+	return true
+}
+
+// commitConsume clears consumed operand slots and sends acknowledge
+// packets to their producers.
+func (m *machine) commitConsume(c *cell, ports []int) {
+	for _, p := range ports {
+		in := c.node.In[p]
+		if in.Arc == nil {
+			continue // literal operand
+		}
+		if c.inTok[p] == nil {
+			continue // preloaded-literal port with no token (not possible; guard)
+		}
+		c.inTok[p] = nil
+		producer := m.cells[in.Arc.From]
+		m.emit(&packet{kind: pktAck, src: c.endpoint, dst: producer.endpoint, cell: int(in.Arc.From)})
+	}
+}
+
+// drainState mirrors exec's cleanliness report.
+func (m *machine) drainState() (bool, []string) {
+	var stalled []string
+	for _, c := range m.cells {
+		n := c.node
+		switch n.Op {
+		case graph.OpSource:
+			if c.srcPos < len(n.Stream) {
+				stalled = append(stalled, fmt.Sprintf("%s: %d stream values unsent", n.Name(), len(n.Stream)-c.srcPos))
+			}
+		case graph.OpCtlGen:
+			if t := n.Pattern.Len(); t >= 0 && c.srcPos < t {
+				stalled = append(stalled, fmt.Sprintf("%s: %d control values unsent", n.Name(), t-c.srcPos))
+			}
+		}
+		for p, tok := range c.inTok {
+			if tok != nil {
+				stalled = append(stalled, fmt.Sprintf("token %s stranded at %s port %d", tok, n.Name(), p))
+			}
+		}
+	}
+	return len(stalled) == 0, stalled
+}
+
+// Describe summarizes a machine result.
+func Describe(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d clean=%v packets=%d am-fraction=%.3f pe-util=%.3f\n",
+		r.Cycles, r.Clean, r.TotalPackets, r.AMFraction(), r.Utilization())
+	kinds := make([]string, 0, len(r.Packets))
+	for k := range r.Packets {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %s packets: %d\n", k, r.Packets[k])
+	}
+	labels := make([]string, 0, len(r.Outputs))
+	for l := range r.Outputs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "  sink %q: %d values, II=%.3f\n", l, len(r.Outputs[l]), r.II(l))
+	}
+	return b.String()
+}

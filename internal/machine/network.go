@@ -1,0 +1,169 @@
+package machine
+
+import "staticpipe/internal/value"
+
+// packetKind classifies traffic per the paper's §2: operation packets
+// (instruction shipped to a function unit), result packets (values to
+// operand slots), and acknowledge packets (the reverse paths of §3).
+type packetKind uint8
+
+const (
+	pktResult packetKind = iota
+	pktAck
+	pktOp
+)
+
+func (k packetKind) String() string {
+	switch k {
+	case pktResult:
+		return "result"
+	case pktAck:
+		return "ack"
+	default:
+		return "operation"
+	}
+}
+
+// packet is one unit of routing-network traffic.
+type packet struct {
+	kind     packetKind
+	src, dst int // endpoint ids
+	// result packets: destination cell/port and the value.
+	cell int
+	port int
+	val  value.Value
+	// operation packets: opcode, operand values, and the destinations the
+	// function unit must send result packets to.
+	op opPayload
+}
+
+// opPayload is the body of an operation packet.
+type opPayload struct {
+	opcode  uint8
+	vals    []value.Value
+	targets []target
+	srcCell int // for accounting
+}
+
+// target is one destination field carried by an operation packet.
+type target struct {
+	endpoint int
+	cell     int
+	port     int
+}
+
+// network models a routing network between endpoints. step advances one
+// cycle and returns the packets delivered this cycle; pending reports
+// undelivered traffic (for quiescence detection).
+type network interface {
+	send(p *packet)
+	step() []*packet
+	pending() int
+}
+
+// crossbar is the simple RN model: fixed transit delay plus one-packet-
+// per-cycle serialization at each destination endpoint.
+type crossbar struct {
+	delay    int
+	now      int
+	inflight []*timedPacket
+	nextFree []int // per destination endpoint
+}
+
+type timedPacket struct {
+	p       *packet
+	readyAt int
+}
+
+func newCrossbar(endpoints, delay int) *crossbar {
+	return &crossbar{delay: delay, nextFree: make([]int, endpoints)}
+}
+
+func (c *crossbar) send(p *packet) {
+	c.inflight = append(c.inflight, &timedPacket{p: p, readyAt: c.now + c.delay})
+}
+
+func (c *crossbar) step() []*packet {
+	c.now++
+	var out []*packet
+	rest := c.inflight[:0]
+	for _, tp := range c.inflight {
+		if tp.readyAt <= c.now && c.nextFree[tp.p.dst] <= c.now {
+			c.nextFree[tp.p.dst] = c.now + 1
+			out = append(out, tp.p)
+		} else {
+			rest = append(rest, tp)
+		}
+	}
+	c.inflight = rest
+	return out
+}
+
+func (c *crossbar) pending() int { return len(c.inflight) }
+
+// butterfly is a log₂(N)-stage packet-switched delta network of 2×2
+// switches — the "packet switched networks" proposed for the routing
+// networks in Dennis, Boughton & Leung [2]. Each stage row forwards at
+// most one packet per cycle; contention queues grow as needed (the
+// physical network applies backpressure, which for the traffic levels of
+// these simulations is equivalent to short queues).
+type butterfly struct {
+	n      int // endpoints padded to a power of two
+	stages int
+	queues [][][]*packet // [stage][row] FIFO
+	count  int
+}
+
+func newButterfly(endpoints int) *butterfly {
+	n := 1
+	stages := 0
+	for n < endpoints {
+		n *= 2
+		stages++
+	}
+	if stages == 0 {
+		stages = 1
+	}
+	b := &butterfly{n: n, stages: stages}
+	b.queues = make([][][]*packet, stages+1)
+	for s := range b.queues {
+		b.queues[s] = make([][]*packet, n)
+	}
+	return b
+}
+
+func (b *butterfly) send(p *packet) {
+	b.queues[0][p.src%b.n] = append(b.queues[0][p.src%b.n], p)
+	b.count++
+}
+
+// step advances every switch stage one cycle. queues[s][row] holds packets
+// that have traversed s stages and sit at the given row; stage s+1 routes
+// by replacing bit (stages−1−s) of the row with the destination's bit, so
+// after all stages the row equals the destination. Later stages move first
+// so a packet traverses exactly one stage per cycle.
+func (b *butterfly) step() []*packet {
+	var delivered []*packet
+	for s := b.stages - 1; s >= 0; s-- {
+		bit := b.stages - 1 - s
+		mask := 1 << bit
+		for row := 0; row < b.n; row++ {
+			q := b.queues[s][row]
+			if len(q) == 0 {
+				continue
+			}
+			p := q[0]
+			b.queues[s][row] = q[1:]
+			next := (row &^ mask) | (p.dst % b.n & mask)
+			if s+1 == b.stages {
+				delivered = append(delivered, p)
+				b.count--
+			} else {
+				b.queues[s+1][next] = append(b.queues[s+1][next], p)
+			}
+		}
+	}
+	return delivered
+}
+
+func (b *butterfly) pending() int { return b.count }

@@ -1,0 +1,289 @@
+// Package mcm computes the maximum cycle ratio of a marked graph — the
+// analytical counterpart of the simulator in package exec.
+//
+// Under the static dataflow firing discipline, every data arc u→v carries a
+// pair of timing constraints: the forward result path (v fires at least one
+// cycle after u, enabled by the tokens initially on the arc) and the
+// reverse acknowledge path (u may refill the arc only after v drains it;
+// the free slot is an initial token on the reverse edge). The steady-state
+// initiation interval of the whole graph is
+//
+//	II = max over directed cycles C of  latency(C) / tokens(C),
+//
+// a classical marked-graph result the paper uses implicitly throughout §3
+// and §7: a producer/consumer arc pair forms a 2-cycle with one token
+// (II = 2, "two instruction times"); Todd's 3-cell for-iter loop carries one
+// token (II = 3, the paper's 1/3 rate); the companion-transformed loop has 4
+// cells and two circulating values (II = 2, maximum). A cycle with zero
+// tokens can never fire — a structural deadlock.
+//
+// The ratio is found by binary search on λ with Bellman-Ford positive-cycle
+// detection, then snapped to the exact rational (denominators are bounded
+// by the total token count) and verified with integer arithmetic.
+package mcm
+
+import (
+	"errors"
+	"fmt"
+
+	"staticpipe/internal/graph"
+)
+
+// Edge is one timing constraint: traversing it takes Latency cycles and it
+// initially holds Tokens tokens. Latency may be negative — PredictII uses
+// negative reverse latencies to model stream-grid skew — but every cycle a
+// well-formed graph contains must have positive total latency (the
+// producer/consumer pair cycles guarantee this for instruction graphs).
+type Edge struct {
+	From, To int
+	Latency  int64
+	Tokens   int64
+}
+
+// Result is the outcome of a cycle-ratio analysis.
+type Result struct {
+	// HasCycle reports whether the constraint graph contains any directed
+	// cycle. Acyclic graphs impose no steady-state rate bound.
+	HasCycle bool
+	// Num/Den is the maximum cycle ratio as a reduced fraction; the
+	// minimum sustainable initiation interval is Num/Den cycles per
+	// firing. Zero when HasCycle is false.
+	Num, Den int64
+}
+
+// Float returns the ratio as a float64 (0 when acyclic).
+func (r Result) Float() float64 {
+	if !r.HasCycle {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// String renders the result for reports.
+func (r Result) String() string {
+	if !r.HasCycle {
+		return "acyclic (no rate bound)"
+	}
+	return fmt.Sprintf("II = %d/%d = %.4g", r.Num, r.Den, r.Float())
+}
+
+// ErrDeadlock reports a directed cycle with zero tokens: no cell on it can
+// ever fire.
+var ErrDeadlock = errors.New("mcm: zero-token cycle (structural deadlock)")
+
+// MaxRatio computes the maximum cycle ratio of the given constraint graph
+// on nodes 0..n-1. It returns ErrDeadlock if a zero-token cycle exists.
+func MaxRatio(n int, edges []Edge) (Result, error) {
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return Result{}, fmt.Errorf("mcm: edge %d->%d out of range (n=%d)", e.From, e.To, n)
+		}
+		if e.Tokens < 0 {
+			return Result{}, fmt.Errorf("mcm: negative tokens on edge %d->%d", e.From, e.To)
+		}
+	}
+	if !hasCycle(n, edges, func(Edge) bool { return true }) {
+		return Result{}, nil
+	}
+	if hasCycle(n, edges, func(e Edge) bool { return e.Tokens == 0 }) {
+		return Result{}, ErrDeadlock
+	}
+
+	var totalLat, totalTok int64 = 0, 0
+	for _, e := range edges {
+		if e.Latency > 0 {
+			totalLat += e.Latency
+		}
+		totalTok += e.Tokens
+	}
+	if totalTok == 0 {
+		totalTok = 1
+	}
+	// positiveCycle(p, q) reports whether some cycle C has
+	// latency(C)/tokens(C) > p/q, i.e. Σ(q·lat − p·tok) > 0 over C.
+	positiveCycle := func(p, q int64) bool {
+		w := make([]int64, len(edges))
+		for i, e := range edges {
+			w[i] = q*e.Latency - p*e.Tokens
+		}
+		return hasPositiveCycle(n, edges, w)
+	}
+
+	// Binary search λ = lo..hi on reals until the interval is narrower than
+	// 1/(2·totalTok²); then exactly one rational with denominator ≤
+	// totalTok lies in it — the answer.
+	lo, hi := 0.0, float64(totalLat)
+	for i := 0; i < 80 && hi-lo > 0.5/float64(totalTok*totalTok+1); i++ {
+		mid := (lo + hi) / 2
+		if positiveCycleFloat(n, edges, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	num, den := bestRational(lo, hi, totalTok)
+	// Verify: no cycle exceeds num/den, and tightening by 1/den² finds one.
+	if positiveCycle(num, den) {
+		return Result{}, fmt.Errorf("mcm: ratio verification failed (snapped too low: %d/%d)", num, den)
+	}
+	if num > 0 && !positiveCycle(num*den-1, den*den) {
+		return Result{}, fmt.Errorf("mcm: ratio verification failed (snapped too high: %d/%d)", num, den)
+	}
+	g := gcd(num, den)
+	return Result{HasCycle: true, Num: num / g, Den: den / g}, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// hasCycle detects a directed cycle over the subgraph of edges accepted by
+// keep, using iterative three-color DFS.
+func hasCycle(n int, edges []Edge, keep func(Edge) bool) bool {
+	adj := make([][]int, n)
+	for i, e := range edges {
+		if keep(e) {
+			adj[e.From] = append(adj[e.From], i)
+		}
+	}
+	color := make([]uint8, n) // 0 white, 1 gray, 2 black
+	type frame struct{ node, next int }
+	for s := 0; s < n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		stack := []frame{{s, 0}}
+		color[s] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				e := edges[adj[f.node][f.next]]
+				f.next++
+				switch color[e.To] {
+				case 0:
+					color[e.To] = 1
+					stack = append(stack, frame{e.To, 0})
+				case 1:
+					return true
+				}
+			} else {
+				color[f.node] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false
+}
+
+// hasPositiveCycle runs Bellman-Ford longest-path relaxation from a virtual
+// source connected to every node; a relaxation surviving n rounds implies a
+// positive-weight cycle.
+func hasPositiveCycle(n int, edges []Edge, w []int64) bool {
+	dist := make([]int64, n) // virtual source: dist 0 to every node
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for i, e := range edges {
+			if nd := dist[e.From] + w[i]; nd > dist[e.To] {
+				dist[e.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true
+}
+
+// positiveCycleFloat is the float-weight variant used during the search.
+func positiveCycleFloat(n int, edges []Edge, lambda float64) bool {
+	dist := make([]float64, n)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for _, e := range edges {
+			w := float64(e.Latency) - lambda*float64(e.Tokens)
+			if nd := dist[e.From] + w; nd > dist[e.To]+1e-12 {
+				dist[e.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true
+}
+
+// bestRational returns the rational p/q with the smallest q ≤ maxDen lying
+// in [lo, hi], found by walking the Stern–Brocot tree.
+func bestRational(lo, hi float64, maxDen int64) (int64, int64) {
+	// Handle integer-valued intervals directly.
+	for k := int64(lo); float64(k) <= hi+1e-15; k++ {
+		if float64(k) >= lo-1e-15 {
+			return k, 1
+		}
+	}
+	var pl, ql, pr, qr int64 = 0, 1, 1, 0 // 0/1 .. 1/0
+	for i := 0; i < 1024; i++ {
+		pm, qm := pl+pr, ql+qr
+		if qm > maxDen {
+			break
+		}
+		m := float64(pm) / float64(qm)
+		switch {
+		case m < lo:
+			pl, ql = pm, qm
+		case m > hi:
+			pr, qr = pm, qm
+		default:
+			return pm, qm
+		}
+	}
+	// Fall back to the closest bound with denominator maxDen.
+	p := int64((lo+hi)/2*float64(maxDen) + 0.5)
+	return p, maxDen
+}
+
+// PredictII builds the marked timing graph of a machine-level instruction
+// graph (after FIFO expansion) and returns its maximum cycle ratio — the
+// analytically predicted initiation interval.
+//
+// Feedback arcs carry their scheme's steady-state marking (Arc.Marking: 1
+// for Todd loops, 2 for companion loops) and contribute no acknowledge
+// edge — their producer is a gated merge that skips the send when the loop
+// winds down, so the one-slot backpressure pair does not apply. Graphs
+// containing other data-dependent routing (gates, merges) are predicted
+// under the conservative assumption that every arc is exercised every
+// firing; for the unconditional graphs of §3 and the loop kernels of §7
+// the prediction is exact, and the test suite cross-checks it against
+// simulation.
+func PredictII(g *graph.Graph) (Result, error) {
+	g = g.ExpandFIFOs()
+	var edges []Edge
+	for _, a := range g.Arcs() {
+		tok := int64(a.Marking)
+		if a.Init != nil {
+			tok++
+		}
+		// A window gate's output for wave j derives from input wave
+		// j+Skew, shifting its timing by 2·Skew cycles at full rate: the
+		// forward constraint lengthens and the acknowledge constraint
+		// shortens by that amount (their pair cycle stays at ratio 2).
+		skew := int64(a.Skew)
+		edges = append(edges, Edge{From: int(a.From), To: int(a.To), Latency: 1 + 2*skew, Tokens: tok})
+		if !a.Feedback || tok == 0 {
+			rev := int64(1) - tok
+			if rev < 0 {
+				rev = 0
+			}
+			edges = append(edges, Edge{From: int(a.To), To: int(a.From), Latency: 1 - 2*skew, Tokens: rev})
+		}
+	}
+	return MaxRatio(g.NumNodes(), edges)
+}

@@ -1,0 +1,237 @@
+package mcm
+
+import (
+	"math/rand"
+	"testing"
+
+	"staticpipe/internal/exec"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/value"
+)
+
+func ring(lat []int64, tok []int64) (int, []Edge) {
+	n := len(lat)
+	edges := make([]Edge, n)
+	for i := range lat {
+		edges[i] = Edge{From: i, To: (i + 1) % n, Latency: lat[i], Tokens: tok[i]}
+	}
+	return n, edges
+}
+
+func TestAcyclic(t *testing.T) {
+	edges := []Edge{{0, 1, 1, 0}, {1, 2, 1, 0}, {0, 2, 5, 1}}
+	r, err := MaxRatio(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasCycle {
+		t.Error("acyclic graph reported a cycle")
+	}
+	if r.Float() != 0 {
+		t.Error("acyclic ratio should be 0")
+	}
+	if r.String() != "acyclic (no rate bound)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestProducerConsumerPair(t *testing.T) {
+	// forward arc (0 tokens) + ack arc (1 token): II = 2/1.
+	n, edges := ring([]int64{1, 1}, []int64{0, 1})
+	r, err := MaxRatio(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasCycle || r.Num != 2 || r.Den != 1 {
+		t.Errorf("got %v, want 2/1", r)
+	}
+}
+
+func TestToddLoopRatio(t *testing.T) {
+	// The paper's Fig 7 analysis: 3 cells, one circulating value -> 1/3 rate.
+	n, edges := ring([]int64{1, 1, 1}, []int64{1, 0, 0})
+	r, err := MaxRatio(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Num != 3 || r.Den != 1 {
+		t.Errorf("Todd loop II = %v, want 3", r)
+	}
+}
+
+func TestCompanionLoopRatio(t *testing.T) {
+	// Fig 8: 4 cells, two circulating values -> maximum rate 1/2.
+	n, edges := ring([]int64{1, 1, 1, 1}, []int64{1, 0, 1, 0})
+	r, err := MaxRatio(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Num != 2 || r.Den != 1 {
+		t.Errorf("companion loop II = %v, want 2", r)
+	}
+}
+
+func TestFractionalRatio(t *testing.T) {
+	n, edges := ring([]int64{2, 1, 2}, []int64{1, 1, 0})
+	// single cycle: latency 5, tokens 2 -> 5/2.
+	r, err := MaxRatio(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Num != 5 || r.Den != 2 {
+		t.Errorf("got %v, want 5/2", r)
+	}
+	if r.Float() != 2.5 {
+		t.Errorf("Float = %v", r.Float())
+	}
+}
+
+func TestTwoCyclesMaxWins(t *testing.T) {
+	// cycle A: 0->1->0 latency 4, 1 token (ratio 4); cycle B: 2->3->2
+	// latency 2, 1 token (ratio 2).
+	edges := []Edge{
+		{0, 1, 2, 1}, {1, 0, 2, 0},
+		{2, 3, 1, 1}, {3, 2, 1, 0},
+	}
+	r, err := MaxRatio(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Num != 4 || r.Den != 1 {
+		t.Errorf("got %v, want 4/1", r)
+	}
+}
+
+func TestDeadlock(t *testing.T) {
+	n, edges := ring([]int64{1, 1}, []int64{0, 0})
+	_, err := MaxRatio(n, edges)
+	if err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	edges := []Edge{{0, 0, 3, 1}}
+	r, err := MaxRatio(1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Num != 3 || r.Den != 1 {
+		t.Errorf("got %v, want 3/1", r)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := MaxRatio(1, []Edge{{0, 5, 1, 1}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := MaxRatio(2, []Edge{{0, 1, 1, -1}}); err == nil {
+		t.Error("negative tokens accepted")
+	}
+}
+
+// TestPredictIIMatchesSimulation cross-validates the analytical bound
+// against the exec simulator on rings of varying length and token count —
+// the central quantitative claims of §3 and §7.
+func TestPredictIIMatchesSimulation(t *testing.T) {
+	cases := []struct {
+		ringLen int
+		tokens  int
+		wantII  float64
+	}{
+		{3, 1, 3}, // Todd's scheme
+		{4, 1, 4},
+		{4, 2, 2}, // companion scheme
+		{5, 1, 5},
+		{6, 2, 3},
+		{6, 3, 2},
+	}
+	for _, c := range cases {
+		g := graph.New()
+		n := 60
+		gate := g.Add(graph.OpTGate, "gate")
+		suffix := make([]bool, c.tokens)
+		ctl := g.AddCtl("ctl", graph.Pattern{Body: []bool{true}, Repeat: n, Suffix: suffix})
+		g.Connect(ctl, gate, 0)
+		prev := gate
+		var ringArcs []*graph.Arc
+		for i := 0; i < c.ringLen-1; i++ {
+			id := g.Add(graph.OpID, "")
+			ringArcs = append(ringArcs, g.Connect(prev, id, 0))
+			prev = id
+		}
+		ringArcs = append(ringArcs, g.Connect(prev, gate, 1))
+		// Spread the initial tokens as evenly as possible.
+		for i := 0; i < c.tokens; i++ {
+			g.SetInit(ringArcs[(i*c.ringLen)/c.tokens], value.R(float64(i)))
+		}
+		sink := g.AddSink("out")
+		g.Connect(gate, sink, 0)
+
+		pred, err := PredictII(g)
+		if err != nil {
+			t.Fatalf("ring %d/%d: PredictII: %v", c.ringLen, c.tokens, err)
+		}
+		if pred.Float() != c.wantII {
+			t.Errorf("ring %d/%d: predicted II = %v, want %v", c.ringLen, c.tokens, pred.Float(), c.wantII)
+		}
+		res, err := exec.Run(g, exec.Options{})
+		if err != nil {
+			t.Fatalf("ring %d/%d: exec: %v", c.ringLen, c.tokens, err)
+		}
+		if got := res.II("out"); got != c.wantII {
+			t.Errorf("ring %d/%d: simulated II = %v, want %v", c.ringLen, c.tokens, got, c.wantII)
+		}
+	}
+}
+
+func TestPredictIIChain(t *testing.T) {
+	g := graph.New()
+	src := g.AddSource("in", value.Reals([]float64{1, 2, 3}))
+	id := g.Add(graph.OpID, "")
+	sink := g.AddSink("out")
+	g.Connect(src, id, 0)
+	g.Connect(id, sink, 0)
+	r, err := PredictII(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// every arc pair forms a 2-cycle with one token: II = 2, the maximum
+	// rate of the machine.
+	if r.Num != 2 || r.Den != 1 {
+		t.Errorf("chain II = %v, want 2", r)
+	}
+}
+
+// Property test: for random rings the ratio equals total latency over total
+// tokens (a ring has exactly one cycle).
+func TestQuickRandomRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		lat := make([]int64, n)
+		tok := make([]int64, n)
+		var sumL, sumT int64
+		anyTok := false
+		for i := range lat {
+			lat[i] = 1 + int64(rng.Intn(4))
+			tok[i] = int64(rng.Intn(2))
+			sumL += lat[i]
+			sumT += tok[i]
+			anyTok = anyTok || tok[i] > 0
+		}
+		if !anyTok {
+			tok[0] = 1
+			sumT = 1
+		}
+		nn, edges := ring(lat, tok)
+		r, err := MaxRatio(nn, edges)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g := gcd(sumL, sumT)
+		if r.Num != sumL/g || r.Den != sumT/g {
+			t.Errorf("trial %d: got %d/%d, want %d/%d", trial, r.Num, r.Den, sumL/g, sumT/g)
+		}
+	}
+}

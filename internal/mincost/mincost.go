@@ -1,0 +1,184 @@
+// Package mincost implements minimum-cost maximum-flow by successive
+// shortest paths with Bellman-Ford path search.
+//
+// It is the substrate behind optimal pipeline balancing: the paper (§8,
+// conclusion 3) observes that balancing an acyclic dataflow graph with the
+// minimum number of buffer stages "is equivalent to the linear programming
+// dual of the min-cost flow problem". Package balance builds that flow
+// network and reads the optimal buffer levels off this solver's final node
+// potentials.
+//
+// Costs may be negative (balance uses cost −w edges); the network must not
+// contain a negative-cost directed cycle of positive capacity. Sizes here
+// are modest (thousands of nodes), so Bellman-Ford per augmentation is
+// entirely adequate and avoids the potential-initialization subtleties of
+// Dijkstra-based variants.
+package mincost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// edge is half of an arc pair: edges[i] and edges[i^1] are a forward edge
+// and its residual reverse.
+type edge struct {
+	to   int
+	cap  int64
+	cost int64
+}
+
+// Graph is a flow network under construction and solution.
+type Graph struct {
+	n     int
+	edges []edge
+	adj   [][]int // adjacency lists of edge indices
+}
+
+// New returns a network with n nodes numbered 0..n-1.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// AddNode appends a node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and per-unit
+// cost, returning an identifier usable with Flow. It panics on out-of-range
+// endpoints or negative capacity.
+func (g *Graph) AddEdge(u, v int, capacity, cost int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("mincost: edge %d->%d out of range (n=%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("mincost: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: v, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: u, cap: 0, cost: -cost})
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id+1)
+	return id
+}
+
+// Flow returns the flow currently carried by edge id (callable after
+// MinCostMaxFlow).
+func (g *Graph) Flow(id int) int64 { return g.edges[id^1].cap }
+
+// ErrNegativeCycle reports a negative-cost cycle of positive capacity,
+// which makes min-cost flow unbounded (and, for package balance, means the
+// balancing constraint system is infeasible).
+var ErrNegativeCycle = errors.New("mincost: negative-cost cycle in network")
+
+const inf = math.MaxInt64 / 4
+
+// bellmanFord computes shortest distances from s over residual edges,
+// returning the distance array and, for path reconstruction, the incoming
+// edge index per node. It returns ErrNegativeCycle if a negative cycle is
+// reachable.
+func (g *Graph) bellmanFord(s int) ([]int64, []int, error) {
+	dist := make([]int64, g.n)
+	prev := make([]int, g.n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[s] = 0
+	for iter := 0; ; iter++ {
+		changed := false
+		for u := 0; u < g.n; u++ {
+			if dist[u] >= inf {
+				continue
+			}
+			for _, id := range g.adj[u] {
+				e := g.edges[id]
+				if e.cap <= 0 {
+					continue
+				}
+				if nd := dist[u] + e.cost; nd < dist[e.to] {
+					dist[e.to] = nd
+					prev[e.to] = id
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return dist, prev, nil
+		}
+		if iter >= g.n {
+			return nil, nil, ErrNegativeCycle
+		}
+	}
+}
+
+// MinCostMaxFlow pushes as much flow as possible from s to t at minimum
+// total cost and returns (flow, cost).
+func (g *Graph) MinCostMaxFlow(s, t int) (int64, int64, error) {
+	var flow, cost int64
+	for {
+		dist, prev, err := g.bellmanFord(s)
+		if err != nil {
+			return 0, 0, err
+		}
+		if dist[t] >= inf {
+			return flow, cost, nil
+		}
+		// bottleneck along the path
+		push := int64(inf)
+		for v := t; v != s; {
+			id := prev[v]
+			if g.edges[id].cap < push {
+				push = g.edges[id].cap
+			}
+			v = g.edges[id^1].to
+		}
+		for v := t; v != s; {
+			id := prev[v]
+			g.edges[id].cap -= push
+			g.edges[id^1].cap += push
+			v = g.edges[id^1].to
+		}
+		flow += push
+		cost += push * dist[t]
+	}
+}
+
+// Potentials returns, for the current (post-solve) residual network, a
+// price vector h such that every residual edge (u→v, cap>0) satisfies the
+// reduced-cost condition cost + h[u] − h[v] ≥ 0. It is computed as
+// Bellman-Ford distances from a virtual root with zero-cost edges to every
+// node, so every node is assigned a finite price. These prices are the
+// optimal duals of the flow LP — exactly the balancing levels package
+// balance needs (negated).
+func (g *Graph) Potentials() ([]int64, error) {
+	dist := make([]int64, g.n)
+	for iter := 0; ; iter++ {
+		changed := false
+		for u := 0; u < g.n; u++ {
+			for _, id := range g.adj[u] {
+				e := g.edges[id]
+				if e.cap <= 0 {
+					continue
+				}
+				if nd := dist[u] + e.cost; nd < dist[e.to] {
+					dist[e.to] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return dist, nil
+		}
+		if iter >= g.n {
+			return nil, ErrNegativeCycle
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package recurrence implements the first-order recurrence algebra of §7:
+// recurrence functions F, their companion functions G with
+// F(a, F(b, x)) = F(G(a,b), x), the distance-k transformation that the
+// companion pipeline computes, and the Kogge parallel-prefix baseline
+// ([11][12]) the paper builds on.
+//
+// The linear recurrence x_i = a_i(1)·x_{i−1} + a_i(2) is the paper's
+// running example (Example 2): its parameter vector is the ordered pair
+// (A, B) and its companion is G(a, b) = (a(1)·b(1), a(1)·b(2) + a(2)).
+// G is associative, which licenses the log₂(p)-level companion tree for
+// loops of deeper pipelines.
+package recurrence
+
+import "fmt"
+
+// Param is the parameter vector a_i = (A, B) of the linear recurrence
+// x_i = A·x_{i−1} + B.
+type Param struct {
+	A, B float64
+}
+
+// F applies the linear recurrence function: F(a, x) = a.A·x + a.B.
+func F(a Param, x float64) float64 { return a.A*x + a.B }
+
+// G is the companion function of F: F(a, F(b, x)) = F(G(a,b), x) for all
+// parameter vectors and x. Note the composition order: G(a, b) is "b then
+// a".
+func G(a, b Param) Param {
+	return Param{A: a.A * b.A, B: a.A*b.B + a.B}
+}
+
+// Identity is the neutral element of G: F(Identity, x) = x.
+var Identity = Param{A: 1, B: 0}
+
+// Sequential solves the recurrence directly: given x_0 and parameters
+// a_1..a_n it returns [x_0, x_1, ..., x_n]. This is the semantic reference
+// for all pipelined and parallel schemes.
+func Sequential(x0 float64, ps []Param) []float64 {
+	out := make([]float64, len(ps)+1)
+	out[0] = x0
+	for i, p := range ps {
+		out[i+1] = F(p, out[i])
+	}
+	return out
+}
+
+// Transform computes the distance-2 parameter vectors of §7:
+// c_i = G(a_i, a_{i−1}), so that x_i = F(c_i, x_{i−2}). Given a_1..a_n it
+// returns c_2..c_n (the transformed recurrence needs both seeds x_0, x_1).
+func Transform(ps []Param) []Param {
+	if len(ps) < 2 {
+		return nil
+	}
+	out := make([]Param, len(ps)-1)
+	for i := 1; i < len(ps); i++ {
+		out[i-1] = G(ps[i], ps[i-1])
+	}
+	return out
+}
+
+// TransformK computes distance-k parameter vectors c_i = a(i, i−k), the
+// composition of the k consecutive parameters a_{i−k+1}..a_i, so that
+// x_i = F(c_i, x_{i−k}). Given a_1..a_n it returns c_k..c_n. The paper
+// notes this generalization follows from associativity ("any x_i can be
+// expressed in terms of x_j").
+func TransformK(ps []Param, k int) ([]Param, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("recurrence: distance %d < 1", k)
+	}
+	if len(ps) < k {
+		return nil, fmt.Errorf("recurrence: %d parameters for distance %d", len(ps), k)
+	}
+	out := make([]Param, len(ps)-k+1)
+	for i := k - 1; i < len(ps); i++ {
+		c := ps[i]
+		for j := 1; j < k; j++ {
+			c = G(c, ps[i-j])
+		}
+		out[i-k+1] = c
+	}
+	return out, nil
+}
+
+// ComposeTree folds parameters a_1..a_n into the single composite
+// a(n, 0) = G(a_n, G(a_{n−1}, ...)) using a balanced tree of depth
+// ⌈log₂ n⌉ — the companion-tree arrangement of §7 ("if the number of
+// stages in F is p, we can construct a companion pipeline consisting of
+// log₂ p levels of G"). Associativity of G makes the tree equal the fold.
+func ComposeTree(ps []Param) Param {
+	switch len(ps) {
+	case 0:
+		return Identity
+	case 1:
+		return ps[0]
+	}
+	mid := len(ps) / 2
+	// ps is in application order a_1..a_n: the right half applies after
+	// the left half, so it composes on the left of G.
+	return G(ComposeTree(ps[mid:]), ComposeTree(ps[:mid]))
+}
+
+// TreeDepth returns the companion-tree depth for a pipeline of p stages.
+func TreeDepth(p int) int {
+	d := 0
+	for (1 << d) < p {
+		d++
+	}
+	return d
+}
+
+// KoggeStone solves the recurrence by parallel prefix over G — the scheme
+// of Kogge [11][12] that the paper adapts to dataflow. It performs
+// ⌈log₂ n⌉ rounds; round r composes each prefix with the prefix 2^r
+// positions earlier. The returned values equal Sequential's up to
+// floating-point reassociation. The round structure is what a parallel
+// machine would execute; this sequential simulation preserves it for
+// testing and benchmarking.
+func KoggeStone(x0 float64, ps []Param) []float64 {
+	n := len(ps)
+	prefix := make([]Param, n)
+	copy(prefix, ps)
+	for stride := 1; stride < n; stride *= 2 {
+		next := make([]Param, n)
+		copy(next, prefix)
+		for i := stride; i < n; i++ {
+			next[i] = G(prefix[i], prefix[i-stride])
+		}
+		prefix = next
+	}
+	out := make([]float64, n+1)
+	out[0] = x0
+	for i := 0; i < n; i++ {
+		out[i+1] = F(prefix[i], x0)
+	}
+	return out
+}
+
+// ScanOp is an associative binary operation with x_i = op(b_i, x_{i−1})
+// form — the other companion-bearing family the compiler recognizes
+// (running min/max and, as special cases of Param, sums and products).
+// For such F(b, x) = op(b, x), the companion is G = op itself.
+type ScanOp func(a, b float64) float64
+
+// ScanSequential computes the running scan x_i = op(b_i, x_{i−1}).
+func ScanSequential(op ScanOp, x0 float64, bs []float64) []float64 {
+	out := make([]float64, len(bs)+1)
+	out[0] = x0
+	for i, b := range bs {
+		out[i+1] = op(b, out[i])
+	}
+	return out
+}
+
+// ScanTransform computes the distance-2 scan parameters c_i = op(b_i,
+// b_{i−1}) so that x_i = op(c_i, x_{i−2}).
+func ScanTransform(op ScanOp, bs []float64) []float64 {
+	if len(bs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(bs)-1)
+	for i := 1; i < len(bs); i++ {
+		out[i-1] = op(bs[i], bs[i-1])
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package recurrence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func closeF(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9 || diff <= 1e-9*scale
+}
+
+func genParams(rng *rand.Rand, n int) []Param {
+	ps := make([]Param, n)
+	for i := range ps {
+		ps[i] = Param{A: rng.Float64()*2 - 1, B: rng.Float64()*4 - 2}
+	}
+	return ps
+}
+
+// TestCompanionIdentity is the defining property of §7:
+// F(a, F(b, x)) = F(G(a,b), x).
+func TestCompanionIdentity(t *testing.T) {
+	f := func(aA, aB, bA, bB, x float64) bool {
+		if anyBad(aA, aB, bA, bB, x) {
+			return true
+		}
+		a, b := Param{aA, aB}, Param{bA, bB}
+		return closeF(F(a, F(b, x)), F(G(a, b), x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompanionAssociative verifies the associativity claim that licenses
+// the log-depth companion tree.
+func TestCompanionAssociative(t *testing.T) {
+	f := func(aA, aB, bA, bB, cA, cB float64) bool {
+		if anyBad(aA, aB, bA, bB, cA, cB) {
+			return true
+		}
+		a, b, c := Param{aA, aB}, Param{bA, bB}, Param{cA, cB}
+		l := G(G(a, b), c)
+		r := G(a, G(b, c))
+		return closeF(l.A, r.A) && closeF(l.B, r.B)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyBad(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIdentityElement(t *testing.T) {
+	if F(Identity, 7.5) != 7.5 {
+		t.Error("F(Identity, x) != x")
+	}
+	a := Param{0.5, 2}
+	l, r := G(a, Identity), G(Identity, a)
+	if l != a || r != a {
+		t.Errorf("identity laws broken: %v %v", l, r)
+	}
+}
+
+func TestSequential(t *testing.T) {
+	// x_i = 2x_{i-1} + 1 from 0: 0, 1, 3, 7, 15
+	ps := []Param{{2, 1}, {2, 1}, {2, 1}, {2, 1}}
+	got := Sequential(0, ps)
+	want := []float64{0, 1, 3, 7, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("x_%d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTransform checks x_i = F(c_i, x_{i−2}) against the sequential
+// reference — the §7 distance-2 rewrite.
+func TestTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := genParams(rng, 20)
+	x := Sequential(0.75, ps)
+	cs := Transform(ps)
+	if len(cs) != len(ps)-1 {
+		t.Fatalf("transform produced %d params", len(cs))
+	}
+	for i := 2; i <= len(ps); i++ {
+		got := F(cs[i-2], x[i-2])
+		if !closeF(got, x[i]) {
+			t.Errorf("x_%d via companion = %v, want %v", i, got, x[i])
+		}
+	}
+	if Transform(ps[:1]) != nil {
+		t.Error("Transform of a single parameter should be nil")
+	}
+}
+
+func TestTransformK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := genParams(rng, 24)
+	x := Sequential(-1.25, ps)
+	for k := 1; k <= 5; k++ {
+		cs, err := TransformK(ps, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cs) != len(ps)-k+1 {
+			t.Fatalf("k=%d: %d params", k, len(cs))
+		}
+		for i := k; i <= len(ps); i++ {
+			got := F(cs[i-k], x[i-k])
+			if !closeF(got, x[i]) {
+				t.Errorf("k=%d: x_%d = %v, want %v", k, i, got, x[i])
+			}
+		}
+	}
+	if _, err := TransformK(ps, 0); err == nil {
+		t.Error("distance 0 accepted")
+	}
+	if _, err := TransformK(ps[:2], 5); err == nil {
+		t.Error("too-short parameter list accepted")
+	}
+}
+
+func TestComposeTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 3, 7, 16, 33} {
+		ps := genParams(rng, n)
+		tree := ComposeTree(ps)
+		// fold right-to-left: a(n,0)
+		fold := ps[0]
+		for i := 1; i < n; i++ {
+			fold = G(ps[i], fold)
+		}
+		if !closeF(tree.A, fold.A) || !closeF(tree.B, fold.B) {
+			t.Errorf("n=%d: tree %v, fold %v", n, tree, fold)
+		}
+		// applying the composite jumps the whole chain
+		x := Sequential(0.3, ps)
+		if !closeF(F(tree, 0.3), x[n]) {
+			t.Errorf("n=%d: composite application %v, want %v", n, F(tree, 0.3), x[n])
+		}
+	}
+	if ComposeTree(nil) != Identity {
+		t.Error("empty compose should be Identity")
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4}
+	for p, want := range cases {
+		if got := TreeDepth(p); got != want {
+			t.Errorf("TreeDepth(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestKoggeStone validates the parallel-prefix baseline against the
+// sequential reference.
+func TestKoggeStone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 3, 8, 31, 64} {
+		ps := genParams(rng, n)
+		x0 := rng.Float64()
+		seq := Sequential(x0, ps)
+		par := KoggeStone(x0, ps)
+		if len(par) != len(seq) {
+			t.Fatalf("n=%d: lengths differ", n)
+		}
+		for i := range seq {
+			if !closeF(seq[i], par[i]) {
+				t.Errorf("n=%d: x_%d = %v (Kogge), want %v", n, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestScans(t *testing.T) {
+	minOp := func(a, b float64) float64 { return math.Min(a, b) }
+	bs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	x := ScanSequential(minOp, 10, bs)
+	want := []float64{10, 3, 1, 1, 1, 1, 1, 1, 1}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Errorf("min scan x_%d = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// distance-2 rewrite
+	cs := ScanTransform(minOp, bs)
+	for i := 2; i <= len(bs); i++ {
+		if got := minOp(cs[i-2], x[i-2]); got != x[i] {
+			t.Errorf("min scan companion x_%d = %v, want %v", i, got, x[i])
+		}
+	}
+	if ScanTransform(minOp, bs[:1]) != nil {
+		t.Error("short scan transform should be nil")
+	}
+	maxOp := func(a, b float64) float64 { return math.Max(a, b) }
+	xm := ScanSequential(maxOp, -1, bs)
+	if xm[len(xm)-1] != 9 {
+		t.Errorf("max scan final = %v", xm[len(xm)-1])
+	}
+}

@@ -1,0 +1,404 @@
+package val
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a Val type: a scalar kind, an array of a scalar kind, or — the
+// §9 extension this reproduction implements — a two-dimensional array,
+// written array2[T] and represented as a row-major element stream.
+type Type struct {
+	// Array reports whether this is an array type.
+	Array bool
+	// TwoD reports a two-dimensional array (array2[T]).
+	TwoD bool
+	// Elem is the scalar kind (of the elements, for arrays).
+	Elem ScalarKind
+}
+
+// ScalarKind enumerates Val's scalar types.
+type ScalarKind uint8
+
+const (
+	KindInvalid ScalarKind = iota
+	KindInt
+	KindReal
+	KindBool
+)
+
+func (k ScalarKind) String() string {
+	switch k {
+	case KindInt:
+		return "integer"
+	case KindReal:
+		return "real"
+	case KindBool:
+		return "boolean"
+	default:
+		return "invalid"
+	}
+}
+
+func (t Type) String() string {
+	switch {
+	case t.TwoD:
+		return "array2[" + t.Elem.String() + "]"
+	case t.Array:
+		return "array[" + t.Elem.String() + "]"
+	default:
+		return t.Elem.String()
+	}
+}
+
+// Scalar constructs a scalar type.
+func Scalar(k ScalarKind) Type { return Type{Elem: k} }
+
+// ArrayOf constructs an array type.
+func ArrayOf(k ScalarKind) Type { return Type{Array: true, Elem: k} }
+
+// Array2Of constructs a two-dimensional array type.
+func Array2Of(k ScalarKind) Type { return Type{Array: true, TwoD: true, Elem: k} }
+
+// Op enumerates Val's operators.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpAdd        // +
+	OpSub        // -
+	OpMul        // *
+	OpDiv        // /
+	OpLT         // <
+	OpLE         // <=
+	OpGT         // >
+	OpGE         // >=
+	OpEQ         // =
+	OpNE         // ~=
+	OpAnd        // &
+	OpOr         // |
+	OpNot        // ~ (unary)
+	OpNeg        // - (unary)
+	OpMin        // min(a, b)
+	OpMax        // max(a, b)
+	OpAbs        // abs(a) (unary)
+)
+
+var opText = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=", OpEQ: "=", OpNE: "~=",
+	OpAnd: "&", OpOr: "|", OpNot: "~", OpNeg: "-",
+	OpMin: "min", OpMax: "max", OpAbs: "abs",
+}
+
+func (op Op) String() string {
+	if s, ok := opText[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Relational reports whether the operator yields a boolean from numerics.
+func (op Op) Relational() bool {
+	switch op {
+	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+		return true
+	}
+	return false
+}
+
+// Expr is a Val expression node. Type() returns the checked type (valid
+// only after Check).
+type Expr interface {
+	Pos() Pos
+	Type() Type
+	setType(Type)
+	String() string
+}
+
+// base carries position and checked type for all expression nodes.
+type base struct {
+	P  Pos
+	Ty Type
+}
+
+func (b *base) Pos() Pos       { return b.P }
+func (b *base) Type() Type     { return b.Ty }
+func (b *base) setType(t Type) { b.Ty = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	base
+	Val int64
+}
+
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Val) }
+
+// RealLit is a real literal.
+type RealLit struct {
+	base
+	F    float64
+	Text string
+}
+
+func (e *RealLit) String() string { return e.Text }
+
+// BoolLit is true or false.
+type BoolLit struct {
+	base
+	Val bool
+}
+
+func (e *BoolLit) String() string {
+	if e.Val {
+		return "true"
+	}
+	return "false"
+}
+
+// Name is an identifier use.
+type Name struct {
+	base
+	Ident string
+}
+
+func (e *Name) String() string { return e.Ident }
+
+// Binary is a binary operator application.
+type Binary struct {
+	base
+	Op   Op
+	L, R Expr
+}
+
+func (e *Binary) String() string {
+	if e.Op == OpMin || e.Op == OpMax {
+		return fmt.Sprintf("%s(%s, %s)", e.Op, e.L, e.R)
+	}
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// Unary is a unary operator application.
+type Unary struct {
+	base
+	Op Op
+	E  Expr
+}
+
+func (e *Unary) String() string {
+	if e.Op == OpAbs {
+		return fmt.Sprintf("abs(%s)", e.E)
+	}
+	return fmt.Sprintf("(%s%s)", e.Op, e.E)
+}
+
+// If is a conditional expression.
+type If struct {
+	base
+	Cond, Then, Else Expr
+}
+
+func (e *If) String() string {
+	return fmt.Sprintf("if %s then %s else %s endif", e.Cond, e.Then, e.Else)
+}
+
+// Def is one definition `name : type := expr`.
+type Def struct {
+	P     Pos
+	Name  string
+	Ty    Type
+	TySet bool // whether a type annotation was written
+	Init  Expr
+}
+
+func (d Def) String() string {
+	if d.TySet {
+		return fmt.Sprintf("%s : %s := %s", d.Name, d.Ty, d.Init)
+	}
+	return fmt.Sprintf("%s := %s", d.Name, d.Init)
+}
+
+// Let is `let defs in body endlet`.
+type Let struct {
+	base
+	Defs []Def
+	Body Expr
+}
+
+func (e *Let) String() string {
+	var b strings.Builder
+	b.WriteString("let ")
+	for i, d := range e.Defs {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(d.String())
+	}
+	fmt.Fprintf(&b, " in %s endlet", e.Body)
+	return b.String()
+}
+
+// Index is array element selection: `A[expr]` for vectors, `A[e1, e2]`
+// for two-dimensional arrays (Sub2 non-nil).
+type Index struct {
+	base
+	Array string
+	Sub   Expr
+	Sub2  Expr
+}
+
+func (e *Index) String() string {
+	if e.Sub2 != nil {
+		return fmt.Sprintf("%s[%s, %s]", e.Array, e.Sub, e.Sub2)
+	}
+	return fmt.Sprintf("%s[%s]", e.Array, e.Sub)
+}
+
+// Forall is the paper's forall construct (§4, Example 1). The §9
+// two-dimensional extension adds an optional second index variable:
+// `forall i in [a, b], j in [c, d] ...` constructs an array2 row-major.
+type Forall struct {
+	base
+	IndexVar string
+	Lo, Hi   Expr // constant expressions
+	// Second dimension (nil/empty when one-dimensional).
+	IndexVar2 string
+	Lo2, Hi2  Expr
+	Defs      []Def
+	Accum     Expr
+}
+
+// TwoD reports whether the forall ranges over two index variables.
+func (e *Forall) TwoD() bool { return e.IndexVar2 != "" }
+
+func (e *Forall) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "forall %s in [%s, %s]", e.IndexVar, e.Lo, e.Hi)
+	if e.TwoD() {
+		fmt.Fprintf(&b, ", %s in [%s, %s]", e.IndexVar2, e.Lo2, e.Hi2)
+	}
+	b.WriteByte(' ')
+	for _, d := range e.Defs {
+		fmt.Fprintf(&b, "%s; ", d)
+	}
+	fmt.Fprintf(&b, "construct %s endall", e.Accum)
+	return b.String()
+}
+
+// ArrayInit is the array initializer `[r: E]` binding one initial element.
+type ArrayInit struct {
+	base
+	At  Expr // constant index expression
+	Val Expr
+}
+
+func (e *ArrayInit) String() string { return fmt.Sprintf("[%s: %s]", e.At, e.Val) }
+
+// Append is the array update `X[i: P]` used in iter clauses to append
+// element i to the accumulating array.
+type Append struct {
+	base
+	Array string
+	At    Expr
+	Val   Expr
+}
+
+func (e *Append) String() string { return fmt.Sprintf("%s[%s: %s]", e.Array, e.At, e.Val) }
+
+// Assign is one `name := expr` inside an iter clause.
+type Assign struct {
+	P    Pos
+	Name string
+	Val  Expr
+}
+
+func (a Assign) String() string { return fmt.Sprintf("%s := %s", a.Name, a.Val) }
+
+// Iter is the `iter ... enditer` rebinding clause of a for-iter body.
+type Iter struct {
+	base
+	Assigns []Assign
+}
+
+func (e *Iter) String() string {
+	var b strings.Builder
+	b.WriteString("iter ")
+	for i, a := range e.Assigns {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(" enditer")
+	return b.String()
+}
+
+// ForIter is the paper's for-iter construct (§4, Example 2).
+type ForIter struct {
+	base
+	Inits []Def
+	Body  Expr
+}
+
+func (e *ForIter) String() string {
+	var b strings.Builder
+	b.WriteString("for ")
+	for i, d := range e.Inits {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(d.String())
+	}
+	fmt.Fprintf(&b, " do %s endfor", e.Body)
+	return b.String()
+}
+
+// DeclKind discriminates top-level declarations.
+type DeclKind uint8
+
+const (
+	DeclParam DeclKind = iota
+	DeclInput
+	DeclBlock
+	DeclOutput
+)
+
+// Decl is one top-level declaration of a pipe-structured program.
+type Decl struct {
+	P    Pos
+	Kind DeclKind
+	Name string
+	Ty   Type
+	// Param: the constant expression. Block: the defining expression.
+	Init Expr
+	// Input: declared index range(s); Lo2/Hi2 for array2 inputs.
+	Lo, Hi   Expr
+	Lo2, Hi2 Expr
+}
+
+// Program is a parsed pipe-structured Val program.
+type Program struct {
+	Decls []Decl
+}
+
+// String renders the program in Val syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		switch d.Kind {
+		case DeclParam:
+			fmt.Fprintf(&b, "param %s = %s;\n", d.Name, d.Init)
+		case DeclInput:
+			if d.Ty.TwoD {
+				fmt.Fprintf(&b, "input %s : %s [%s, %s][%s, %s];\n", d.Name, d.Ty, d.Lo, d.Hi, d.Lo2, d.Hi2)
+			} else {
+				fmt.Fprintf(&b, "input %s : %s [%s, %s];\n", d.Name, d.Ty, d.Lo, d.Hi)
+			}
+		case DeclBlock:
+			fmt.Fprintf(&b, "%s : %s :=\n  %s;\n", d.Name, d.Ty, d.Init)
+		case DeclOutput:
+			fmt.Fprintf(&b, "output %s;\n", d.Name)
+		}
+	}
+	return b.String()
+}

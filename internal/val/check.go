@@ -1,0 +1,621 @@
+package val
+
+import (
+	"fmt"
+)
+
+// InputInfo describes a declared input array after checking: its element
+// type and its constant index range(s). Two-dimensional inputs arrive as
+// row-major element streams over [Lo,Hi]×[Lo2,Hi2].
+type InputInfo struct {
+	Name     string
+	Ty       Type
+	Lo, Hi   int64
+	Lo2, Hi2 int64
+}
+
+// Len returns the number of elements in the input's index range.
+func (in InputInfo) Len() int {
+	n := int(in.Hi - in.Lo + 1)
+	if in.Ty.TwoD {
+		n *= int(in.Hi2 - in.Lo2 + 1)
+	}
+	return n
+}
+
+// BlockInfo describes one array-defining block of a pipe-structured
+// program.
+type BlockInfo struct {
+	Name string
+	Ty   Type
+	Expr Expr
+	// Consumes lists the array names the block's expression references, in
+	// first-use order — the incoming edges of the flow dependency graph.
+	Consumes []string
+}
+
+// Checked is a type-checked pipe-structured program.
+type Checked struct {
+	Prog    *Program
+	Params  map[string]int64
+	Inputs  []InputInfo
+	Blocks  []BlockInfo
+	Outputs []string
+
+	inputIdx map[string]int
+	blockIdx map[string]int
+}
+
+// Input returns the input with the given name.
+func (c *Checked) Input(name string) (InputInfo, bool) {
+	i, ok := c.inputIdx[name]
+	if !ok {
+		return InputInfo{}, false
+	}
+	return c.Inputs[i], true
+}
+
+// Block returns the block with the given name.
+func (c *Checked) Block(name string) (BlockInfo, bool) {
+	i, ok := c.blockIdx[name]
+	if !ok {
+		return BlockInfo{}, false
+	}
+	return c.Blocks[i], true
+}
+
+// errf formats a positioned type error.
+func errf(p Pos, format string, args ...any) error {
+	return fmt.Errorf("val: %s: %s", p, fmt.Sprintf(format, args...))
+}
+
+// EvalConst evaluates a compile-time constant integer expression over the
+// given parameter bindings — the index ranges of a pipe-structured program
+// must be "fixed" (§4 definition), i.e. manifest at compile time.
+func EvalConst(e Expr, params map[string]int64) (int64, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Val, nil
+	case *Name:
+		if v, ok := params[x.Ident]; ok {
+			return v, nil
+		}
+		return 0, errf(x.Pos(), "%s is not a compile-time constant", x.Ident)
+	case *Unary:
+		if x.Op != OpNeg {
+			return 0, errf(x.Pos(), "operator %s not allowed in constant expressions", x.Op)
+		}
+		v, err := EvalConst(x.E, params)
+		return -v, err
+	case *Binary:
+		l, err := EvalConst(x.L, params)
+		if err != nil {
+			return 0, err
+		}
+		r, err := EvalConst(x.R, params)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case OpAdd:
+			return l + r, nil
+		case OpSub:
+			return l - r, nil
+		case OpMul:
+			return l * r, nil
+		case OpDiv:
+			if r == 0 {
+				return 0, errf(x.Pos(), "division by zero in constant expression")
+			}
+			return l / r, nil
+		default:
+			return 0, errf(x.Pos(), "operator %s not allowed in constant expressions", x.Op)
+		}
+	default:
+		return 0, errf(e.Pos(), "not a compile-time constant expression")
+	}
+}
+
+// checker carries scoping state during Check.
+type checker struct {
+	c      *Checked
+	scopes []map[string]Type
+	// loopVars, when inside a for-iter body, maps loop variable names to
+	// their types (the targets Iter clauses may rebind).
+	loopVars map[string]Type
+	consumes *[]string // block-level array-use recorder
+}
+
+func (ck *checker) push() { ck.scopes = append(ck.scopes, map[string]Type{}) }
+func (ck *checker) pop()  { ck.scopes = ck.scopes[:len(ck.scopes)-1] }
+
+func (ck *checker) bind(p Pos, name string, t Type) error {
+	top := ck.scopes[len(ck.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(p, "%s redefined in the same scope", name)
+	}
+	top[name] = t
+	return nil
+}
+
+func (ck *checker) lookup(name string) (Type, bool) {
+	for i := len(ck.scopes) - 1; i >= 0; i-- {
+		if t, ok := ck.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	return Type{}, false
+}
+
+// Check type-checks a parsed program and returns its checked form.
+func Check(prog *Program) (*Checked, error) {
+	c := &Checked{
+		Prog:     prog,
+		Params:   map[string]int64{},
+		inputIdx: map[string]int{},
+		blockIdx: map[string]int{},
+	}
+	ck := &checker{c: c}
+	ck.push() // global scope
+
+	seen := map[string]Pos{}
+	declare := func(p Pos, name string) error {
+		if prev, dup := seen[name]; dup {
+			return errf(p, "%s already declared at %s", name, prev)
+		}
+		seen[name] = p
+		return nil
+	}
+
+	for _, d := range prog.Decls {
+		switch d.Kind {
+		case DeclParam:
+			if err := declare(d.P, d.Name); err != nil {
+				return nil, err
+			}
+			v, err := EvalConst(d.Init, c.Params)
+			if err != nil {
+				return nil, err
+			}
+			c.Params[d.Name] = v
+
+		case DeclInput:
+			if err := declare(d.P, d.Name); err != nil {
+				return nil, err
+			}
+			if !d.Ty.Array {
+				return nil, errf(d.P, "input %s must be an array", d.Name)
+			}
+			lo, err := EvalConst(d.Lo, c.Params)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := EvalConst(d.Hi, c.Params)
+			if err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, errf(d.P, "input %s has empty range [%d, %d]", d.Name, lo, hi)
+			}
+			info := InputInfo{Name: d.Name, Ty: d.Ty, Lo: lo, Hi: hi}
+			if d.Ty.TwoD {
+				lo2, err := EvalConst(d.Lo2, c.Params)
+				if err != nil {
+					return nil, err
+				}
+				hi2, err := EvalConst(d.Hi2, c.Params)
+				if err != nil {
+					return nil, err
+				}
+				if hi2 < lo2 {
+					return nil, errf(d.P, "input %s has empty second range [%d, %d]", d.Name, lo2, hi2)
+				}
+				info.Lo2, info.Hi2 = lo2, hi2
+			}
+			c.inputIdx[d.Name] = len(c.Inputs)
+			c.Inputs = append(c.Inputs, info)
+			if err := ck.bind(d.P, d.Name, d.Ty); err != nil {
+				return nil, err
+			}
+
+		case DeclBlock:
+			if err := declare(d.P, d.Name); err != nil {
+				return nil, err
+			}
+			var uses []string
+			ck.consumes = &uses
+			t, err := ck.expr(d.Init)
+			ck.consumes = nil
+			if err != nil {
+				return nil, err
+			}
+			if t != d.Ty {
+				return nil, errf(d.P, "block %s declared %s but defined as %s", d.Name, d.Ty, t)
+			}
+			c.blockIdx[d.Name] = len(c.Blocks)
+			c.Blocks = append(c.Blocks, BlockInfo{Name: d.Name, Ty: d.Ty, Expr: d.Init, Consumes: uses})
+			if err := ck.bind(d.P, d.Name, d.Ty); err != nil {
+				return nil, err
+			}
+
+		case DeclOutput:
+			t, ok := ck.lookup(d.Name)
+			if !ok {
+				return nil, errf(d.P, "output %s is not defined", d.Name)
+			}
+			if !t.Array {
+				return nil, errf(d.P, "output %s must be an array, got %s", d.Name, t)
+			}
+			c.Outputs = append(c.Outputs, d.Name)
+		}
+	}
+	if len(c.Outputs) == 0 {
+		return nil, fmt.Errorf("val: program declares no outputs")
+	}
+	return c, nil
+}
+
+// recordUse notes an array consumption for flow-dependency tracking. Only
+// globally-declared arrays (inputs and earlier blocks) count: locally bound
+// arrays such as a for-iter's accumulating loop variable are internal to
+// the block.
+func (ck *checker) recordUse(name string) {
+	if ck.consumes == nil {
+		return
+	}
+	if _, global := ck.scopes[0][name]; !global {
+		return
+	}
+	for _, u := range *ck.consumes {
+		if u == name {
+			return
+		}
+	}
+	*ck.consumes = append(*ck.consumes, name)
+}
+
+// numeric reports whether t is integer or real.
+func numeric(t Type) bool {
+	return !t.Array && (t.Elem == KindInt || t.Elem == KindReal)
+}
+
+// promote returns the common type of two numerics (real wins).
+func promote(a, b Type) Type {
+	if a.Elem == KindReal || b.Elem == KindReal {
+		return Scalar(KindReal)
+	}
+	return Scalar(KindInt)
+}
+
+// expr checks an expression and returns (and annotates) its type.
+func (ck *checker) expr(e Expr) (Type, error) {
+	t, err := ck.exprInner(e)
+	if err != nil {
+		return Type{}, err
+	}
+	e.setType(t)
+	return t, nil
+}
+
+func (ck *checker) exprInner(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return Scalar(KindInt), nil
+	case *RealLit:
+		return Scalar(KindReal), nil
+	case *BoolLit:
+		return Scalar(KindBool), nil
+
+	case *Name:
+		if t, ok := ck.lookup(x.Ident); ok {
+			if t.Array {
+				ck.recordUse(x.Ident)
+			}
+			return t, nil
+		}
+		if _, ok := ck.c.Params[x.Ident]; ok {
+			return Scalar(KindInt), nil
+		}
+		return Type{}, errf(x.Pos(), "undefined name %s", x.Ident)
+
+	case *Unary:
+		t, err := ck.expr(x.E)
+		if err != nil {
+			return Type{}, err
+		}
+		switch x.Op {
+		case OpNeg, OpAbs:
+			if !numeric(t) {
+				return Type{}, errf(x.Pos(), "operator %s needs a numeric operand, got %s", x.Op, t)
+			}
+			return t, nil
+		case OpNot:
+			if t != Scalar(KindBool) {
+				return Type{}, errf(x.Pos(), "operator ~ needs a boolean operand, got %s", t)
+			}
+			return t, nil
+		default:
+			return Type{}, errf(x.Pos(), "bad unary operator %s", x.Op)
+		}
+
+	case *Binary:
+		lt, err := ck.expr(x.L)
+		if err != nil {
+			return Type{}, err
+		}
+		rt, err := ck.expr(x.R)
+		if err != nil {
+			return Type{}, err
+		}
+		switch x.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMin, OpMax:
+			if !numeric(lt) || !numeric(rt) {
+				return Type{}, errf(x.Pos(), "operator %s needs numeric operands, got %s and %s", x.Op, lt, rt)
+			}
+			return promote(lt, rt), nil
+		case OpLT, OpLE, OpGT, OpGE:
+			if !numeric(lt) || !numeric(rt) {
+				return Type{}, errf(x.Pos(), "operator %s needs numeric operands, got %s and %s", x.Op, lt, rt)
+			}
+			return Scalar(KindBool), nil
+		case OpEQ, OpNE:
+			if numeric(lt) && numeric(rt) || lt == Scalar(KindBool) && rt == Scalar(KindBool) {
+				return Scalar(KindBool), nil
+			}
+			return Type{}, errf(x.Pos(), "operator %s cannot compare %s and %s", x.Op, lt, rt)
+		case OpAnd, OpOr:
+			if lt != Scalar(KindBool) || rt != Scalar(KindBool) {
+				return Type{}, errf(x.Pos(), "operator %s needs boolean operands, got %s and %s", x.Op, lt, rt)
+			}
+			return Scalar(KindBool), nil
+		default:
+			return Type{}, errf(x.Pos(), "bad binary operator %s", x.Op)
+		}
+
+	case *If:
+		ct, err := ck.expr(x.Cond)
+		if err != nil {
+			return Type{}, err
+		}
+		if ct != Scalar(KindBool) {
+			return Type{}, errf(x.Cond.Pos(), "if condition must be boolean, got %s", ct)
+		}
+		tt, err := ck.expr(x.Then)
+		if err != nil {
+			return Type{}, err
+		}
+		et, err := ck.expr(x.Else)
+		if err != nil {
+			return Type{}, err
+		}
+		// An iter arm takes the type of the other arm (the loop result).
+		_, iterThen := x.Then.(*Iter)
+		_, iterElse := x.Else.(*Iter)
+		switch {
+		case iterThen && iterElse:
+			return Type{}, errf(x.Pos(), "both arms of the loop conditional are iter clauses")
+		case iterThen:
+			return et, nil
+		case iterElse:
+			return tt, nil
+		case tt == et:
+			return tt, nil
+		case numeric(tt) && numeric(et):
+			return promote(tt, et), nil
+		default:
+			return Type{}, errf(x.Pos(), "if arms have incompatible types %s and %s", tt, et)
+		}
+
+	case *Let:
+		ck.push()
+		defer ck.pop()
+		for _, d := range x.Defs {
+			t, err := ck.expr(d.Init)
+			if err != nil {
+				return Type{}, err
+			}
+			if d.TySet && t != d.Ty {
+				if !(d.Ty == Scalar(KindReal) && t == Scalar(KindInt)) {
+					return Type{}, errf(d.P, "%s declared %s but defined as %s", d.Name, d.Ty, t)
+				}
+				t = d.Ty // implicit widening of an integer definition
+			}
+			if err := ck.bind(d.P, d.Name, t); err != nil {
+				return Type{}, err
+			}
+		}
+		return ck.expr(x.Body)
+
+	case *Index:
+		t, ok := ck.lookup(x.Array)
+		if !ok {
+			if _, isParam := ck.c.Params[x.Array]; isParam {
+				return Type{}, errf(x.Pos(), "%s is not an array", x.Array)
+			}
+			return Type{}, errf(x.Pos(), "undefined array %s", x.Array)
+		}
+		if !t.Array {
+			return Type{}, errf(x.Pos(), "%s is not an array", x.Array)
+		}
+		ck.recordUse(x.Array)
+		st, err := ck.expr(x.Sub)
+		if err != nil {
+			return Type{}, err
+		}
+		if st != Scalar(KindInt) {
+			return Type{}, errf(x.Sub.Pos(), "array subscript must be integer, got %s", st)
+		}
+		if t.TwoD != (x.Sub2 != nil) {
+			want, got := 1, 1
+			if t.TwoD {
+				want = 2
+			}
+			if x.Sub2 != nil {
+				got = 2
+			}
+			return Type{}, errf(x.Pos(), "%s is %s: needs %d subscripts, got %d", x.Array, t, want, got)
+		}
+		if x.Sub2 != nil {
+			st2, err := ck.expr(x.Sub2)
+			if err != nil {
+				return Type{}, err
+			}
+			if st2 != Scalar(KindInt) {
+				return Type{}, errf(x.Sub2.Pos(), "array subscript must be integer, got %s", st2)
+			}
+		}
+		return Scalar(t.Elem), nil
+
+	case *ArrayInit:
+		if _, err := EvalConst(x.At, ck.c.Params); err != nil {
+			return Type{}, err
+		}
+		vt, err := ck.expr(x.Val)
+		if err != nil {
+			return Type{}, err
+		}
+		if vt.Array {
+			return Type{}, errf(x.Pos(), "array initializer element must be scalar")
+		}
+		return ArrayOf(vt.Elem), nil
+
+	case *Append:
+		t, ok := ck.lookup(x.Array)
+		if !ok {
+			return Type{}, errf(x.Pos(), "undefined array %s", x.Array)
+		}
+		if !t.Array {
+			return Type{}, errf(x.Pos(), "%s is not an array", x.Array)
+		}
+		if t.TwoD {
+			return Type{}, errf(x.Pos(), "for-iter accumulation applies to one-dimensional arrays only")
+		}
+		st, err := ck.expr(x.At)
+		if err != nil {
+			return Type{}, err
+		}
+		if st != Scalar(KindInt) {
+			return Type{}, errf(x.At.Pos(), "append index must be integer, got %s", st)
+		}
+		vt, err := ck.expr(x.Val)
+		if err != nil {
+			return Type{}, err
+		}
+		if vt.Array || vt.Elem != t.Elem && !(t.Elem == KindReal && vt.Elem == KindInt) {
+			return Type{}, errf(x.Val.Pos(), "appending %s to %s", vt, t)
+		}
+		return t, nil
+
+	case *Forall:
+		if _, err := EvalConst(x.Lo, ck.c.Params); err != nil {
+			return Type{}, err
+		}
+		if _, err := EvalConst(x.Hi, ck.c.Params); err != nil {
+			return Type{}, err
+		}
+		ck.push()
+		defer ck.pop()
+		if err := ck.bind(x.Pos(), x.IndexVar, Scalar(KindInt)); err != nil {
+			return Type{}, err
+		}
+		if x.TwoD() {
+			if _, err := EvalConst(x.Lo2, ck.c.Params); err != nil {
+				return Type{}, err
+			}
+			if _, err := EvalConst(x.Hi2, ck.c.Params); err != nil {
+				return Type{}, err
+			}
+			if err := ck.bind(x.Pos(), x.IndexVar2, Scalar(KindInt)); err != nil {
+				return Type{}, err
+			}
+		}
+		for _, d := range x.Defs {
+			t, err := ck.expr(d.Init)
+			if err != nil {
+				return Type{}, err
+			}
+			if d.TySet && t != d.Ty {
+				if !(d.Ty == Scalar(KindReal) && t == Scalar(KindInt)) {
+					return Type{}, errf(d.P, "%s declared %s but defined as %s", d.Name, d.Ty, t)
+				}
+				t = d.Ty
+			}
+			if err := ck.bind(d.P, d.Name, t); err != nil {
+				return Type{}, err
+			}
+		}
+		at, err := ck.expr(x.Accum)
+		if err != nil {
+			return Type{}, err
+		}
+		if at.Array {
+			return Type{}, errf(x.Accum.Pos(), "forall accumulation must be scalar (nested arrays are outside the subset)")
+		}
+		if x.TwoD() {
+			return Array2Of(at.Elem), nil
+		}
+		return ArrayOf(at.Elem), nil
+
+	case *ForIter:
+		ck.push()
+		defer ck.pop()
+		outerLoop := ck.loopVars
+		lv := map[string]Type{}
+		for _, d := range x.Inits {
+			t, err := ck.expr(d.Init)
+			if err != nil {
+				return Type{}, err
+			}
+			if d.TySet && t != d.Ty {
+				if !(d.Ty == Scalar(KindReal) && t == Scalar(KindInt)) &&
+					!(d.Ty.Array && t.Array && d.Ty.Elem == KindReal && t.Elem == KindInt) {
+					return Type{}, errf(d.P, "%s declared %s but initialized as %s", d.Name, d.Ty, t)
+				}
+				t = d.Ty
+			}
+			if err := ck.bind(d.P, d.Name, t); err != nil {
+				return Type{}, err
+			}
+			lv[d.Name] = t
+		}
+		ck.loopVars = lv
+		defer func() { ck.loopVars = outerLoop }()
+		bt, err := ck.expr(x.Body)
+		if err != nil {
+			return Type{}, err
+		}
+		if _, isIter := x.Body.(*Iter); isIter {
+			return Type{}, errf(x.Body.Pos(), "for-iter body cannot be a bare iter clause (the loop would never terminate)")
+		}
+		return bt, nil
+
+	case *Iter:
+		if ck.loopVars == nil {
+			return Type{}, errf(x.Pos(), "iter clause outside a for-iter body")
+		}
+		seen := map[string]bool{}
+		for _, a := range x.Assigns {
+			want, ok := ck.loopVars[a.Name]
+			if !ok {
+				return Type{}, errf(a.P, "iter rebinds %s, which is not a loop variable", a.Name)
+			}
+			if seen[a.Name] {
+				return Type{}, errf(a.P, "iter rebinds %s twice", a.Name)
+			}
+			seen[a.Name] = true
+			t, err := ck.expr(a.Val)
+			if err != nil {
+				return Type{}, err
+			}
+			if t != want && !(want == Scalar(KindReal) && t == Scalar(KindInt)) {
+				return Type{}, errf(a.P, "iter rebinds %s (%s) with %s", a.Name, want, t)
+			}
+		}
+		// An iter clause has no value of its own; report the type of one
+		// of its rebindings purely as a placeholder — If handles arms.
+		return Scalar(KindBool), nil
+
+	default:
+		return Type{}, errf(e.Pos(), "unsupported expression form %T", e)
+	}
+}

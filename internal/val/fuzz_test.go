@@ -1,0 +1,35 @@
+package val
+
+import "testing"
+
+// FuzzParse asserts the front end never panics: any byte string either
+// parses (and then checks without panicking) or returns an error.
+func FuzzParse(f *testing.F) {
+	f.Add(example1)
+	f.Add(example2)
+	f.Add("param m = 3; input C : array[real] [0, m]; output C;")
+	f.Add("A : array2[real] := forall i in [0,1], j in [0,1] construct i+j endall; output A;")
+	f.Add("x : real := if a then 1 else 2 endif;")
+	f.Add("for i : integer := 0 do iter enditer endfor")
+	f.Add("%comment\n1e9 2. ~= <= [:]")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// A parsed program must also survive checking without panics.
+		_, _ = Check(prog)
+	})
+}
+
+// FuzzParseExpr covers the expression entry point.
+func FuzzParseExpr(f *testing.F) {
+	f.Add("a + b * (c - 1)")
+	f.Add("if x > 0. then let y := 1 in y endlet else abs(x) endif")
+	f.Add("T[i: P]")
+	f.Add("[0: 0.]")
+	f.Add("min(max(a, b), ~c)")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseExpr(src)
+	})
+}

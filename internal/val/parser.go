@@ -1,0 +1,652 @@
+package val
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for the Val subset.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete pipe-structured program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF, "") {
+		d, err := p.decl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d)
+	}
+	if len(prog.Decls) == 0 {
+		return nil, fmt.Errorf("val: empty program")
+	}
+	return prog, nil
+}
+
+// ParseExpr parses a single expression (used by tests and the REPL-style
+// tools).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("trailing input after expression: %s", p.cur())
+	}
+	return e, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = kind.String()
+	}
+	return Token{}, p.errf("expected %q, found %s", want, p.cur())
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("val: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+// decl parses one top-level declaration.
+func (p *Parser) decl() (Decl, error) {
+	t := p.cur()
+	switch {
+	case p.accept(TokKeyword, "param"):
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return Decl{}, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return Decl{}, err
+		}
+		return Decl{P: t.Pos, Kind: DeclParam, Name: name.Text, Init: e}, nil
+
+	case p.accept(TokKeyword, "input"):
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return Decl{}, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, "["); err != nil {
+			return Decl{}, err
+		}
+		lo, err := p.expr()
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return Decl{}, err
+		}
+		hi, err := p.expr()
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return Decl{}, err
+		}
+		d := Decl{P: t.Pos, Kind: DeclInput, Name: name.Text, Ty: ty, Lo: lo, Hi: hi}
+		if ty.TwoD {
+			if _, err := p.expect(TokPunct, "["); err != nil {
+				return Decl{}, err
+			}
+			if d.Lo2, err = p.expr(); err != nil {
+				return Decl{}, err
+			}
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return Decl{}, err
+			}
+			if d.Hi2, err = p.expr(); err != nil {
+				return Decl{}, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return Decl{}, err
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return Decl{}, err
+		}
+		return d, nil
+
+	case p.accept(TokKeyword, "output"):
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return Decl{}, err
+		}
+		return Decl{P: t.Pos, Kind: DeclOutput, Name: name.Text}, nil
+
+	case p.at(TokIdent, ""):
+		name := p.next()
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return Decl{}, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, ":="); err != nil {
+			return Decl{}, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return Decl{}, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return Decl{}, err
+		}
+		return Decl{P: t.Pos, Kind: DeclBlock, Name: name.Text, Ty: ty, Init: e}, nil
+
+	default:
+		return Decl{}, p.errf("expected declaration, found %s", p.cur())
+	}
+}
+
+// parseType parses a type.
+func (p *Parser) parseType() (Type, error) {
+	t := p.cur()
+	switch {
+	case p.accept(TokKeyword, "real"):
+		return Scalar(KindReal), nil
+	case p.accept(TokKeyword, "integer"):
+		return Scalar(KindInt), nil
+	case p.accept(TokKeyword, "boolean"):
+		return Scalar(KindBool), nil
+	case p.at(TokKeyword, "array"), p.at(TokKeyword, "array2"):
+		twoD := p.cur().Text == "array2"
+		p.next()
+		if _, err := p.expect(TokPunct, "["); err != nil {
+			return Type{}, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return Type{}, err
+		}
+		if elem.Array {
+			return Type{}, fmt.Errorf("val: %s: nested array types are outside the paper's subset", t.Pos)
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return Type{}, err
+		}
+		if twoD {
+			return Array2Of(elem.Elem), nil
+		}
+		return ArrayOf(elem.Elem), nil
+	default:
+		return Type{}, p.errf("expected type, found %s", p.cur())
+	}
+}
+
+// defs parses a (possibly empty) sequence of `name : type := expr ;`
+// definitions, stopping at the given keyword.
+func (p *Parser) defs(stop ...string) ([]Def, error) {
+	var out []Def
+	for {
+		for _, s := range stop {
+			if p.at(TokKeyword, s) {
+				return out, nil
+			}
+		}
+		t := p.cur()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := Def{P: t.Pos, Name: name.Text}
+		if p.accept(TokPunct, ":") {
+			d.Ty, err = p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			d.TySet = true
+		}
+		if _, err := p.expect(TokPunct, ":="); err != nil {
+			return nil, err
+		}
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+		if !p.accept(TokPunct, ";") {
+			for _, s := range stop {
+				if p.at(TokKeyword, s) {
+					return out, nil
+				}
+			}
+			return nil, p.errf("expected ';' or one of %v after definition", stop)
+		}
+	}
+}
+
+// expr parses a full expression. forall, for-iter, and iter clauses are
+// whole-expression forms; if and let parse as primaries inside the binary
+// operator chain (they are valid operands under the §5 composition rules).
+func (p *Parser) expr() (Expr, error) {
+	switch {
+	case p.at(TokKeyword, "forall"):
+		return p.forall()
+	case p.at(TokKeyword, "for"):
+		return p.forIter()
+	case p.at(TokKeyword, "iter"):
+		return p.iterExpr()
+	default:
+		return p.orExpr()
+	}
+}
+
+func (p *Parser) forall() (Expr, error) {
+	t, _ := p.expect(TokKeyword, "forall")
+	iv, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "in"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "["); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ","); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "]"); err != nil {
+		return nil, err
+	}
+	fa := &Forall{base: base{P: t.Pos}, IndexVar: iv.Text, Lo: lo, Hi: hi}
+	if p.accept(TokPunct, ",") {
+		iv2, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "in"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "["); err != nil {
+			return nil, err
+		}
+		if fa.Lo2, err = p.expr(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		if fa.Hi2, err = p.expr(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		fa.IndexVar2 = iv2.Text
+	}
+	defs, err := p.defs("construct")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "construct"); err != nil {
+		return nil, err
+	}
+	acc, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "endall"); err != nil {
+		return nil, err
+	}
+	fa.Defs = defs
+	fa.Accum = acc
+	return fa, nil
+}
+
+func (p *Parser) forIter() (Expr, error) {
+	t, _ := p.expect(TokKeyword, "for")
+	inits, err := p.defs("do")
+	if err != nil {
+		return nil, err
+	}
+	if len(inits) == 0 {
+		return nil, p.errf("for-iter needs at least one loop variable")
+	}
+	if _, err := p.expect(TokKeyword, "do"); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "endfor"); err != nil {
+		return nil, err
+	}
+	return &ForIter{base: base{P: t.Pos}, Inits: inits, Body: body}, nil
+}
+
+func (p *Parser) ifExpr() (Expr, error) {
+	t, _ := p.expect(TokKeyword, "if")
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "then"); err != nil {
+		return nil, err
+	}
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "else"); err != nil {
+		return nil, err
+	}
+	els, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "endif"); err != nil {
+		return nil, err
+	}
+	return &If{base: base{P: t.Pos}, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *Parser) letExpr() (Expr, error) {
+	t, _ := p.expect(TokKeyword, "let")
+	defs, err := p.defs("in")
+	if err != nil {
+		return nil, err
+	}
+	if len(defs) == 0 {
+		return nil, p.errf("let needs at least one definition")
+	}
+	if _, err := p.expect(TokKeyword, "in"); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "endlet"); err != nil {
+		return nil, err
+	}
+	return &Let{base: base{P: t.Pos}, Defs: defs, Body: body}, nil
+}
+
+func (p *Parser) iterExpr() (Expr, error) {
+	t, _ := p.expect(TokKeyword, "iter")
+	var assigns []Assign
+	for !p.at(TokKeyword, "enditer") {
+		at := p.cur()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		assigns = append(assigns, Assign{P: at.Pos, Name: name.Text, Val: e})
+		p.accept(TokPunct, ";") // separators optional before enditer
+	}
+	if _, err := p.expect(TokKeyword, "enditer"); err != nil {
+		return nil, err
+	}
+	if len(assigns) == 0 {
+		return nil, fmt.Errorf("val: %s: iter clause rebinds no loop variables", t.Pos)
+	}
+	return &Iter{base: base{P: t.Pos}, Assigns: assigns}, nil
+}
+
+// Binary operator precedence, loosest first: | & rel +- */ unary.
+func (p *Parser) orExpr() (Expr, error) { return p.binaryLevel(0) }
+
+var levels = [][]struct {
+	text string
+	op   Op
+}{
+	{{"|", OpOr}},
+	{{"&", OpAnd}},
+	{{"<=", OpLE}, {">=", OpGE}, {"<", OpLT}, {">", OpGT}, {"=", OpEQ}, {"~=", OpNE}},
+	{{"+", OpAdd}, {"-", OpSub}},
+	{{"*", OpMul}, {"/", OpDiv}},
+}
+
+func (p *Parser) binaryLevel(lvl int) (Expr, error) {
+	if lvl >= len(levels) {
+		return p.unary()
+	}
+	left, err := p.binaryLevel(lvl + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, cand := range levels[lvl] {
+			if p.at(TokPunct, cand.text) {
+				t := p.next()
+				right, err := p.binaryLevel(lvl + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &Binary{base: base{P: t.Pos}, Op: cand.op, L: left, R: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+		if lvl == 2 {
+			// relational operators do not chain in Val
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.accept(TokPunct, "-"):
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{base: base{P: t.Pos}, Op: OpNeg, E: e}, nil
+	case p.accept(TokPunct, "~"):
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{base: base{P: t.Pos}, Op: OpNot, E: e}, nil
+	default:
+		return p.postfix()
+	}
+}
+
+// postfix parses primaries with optional array selection/append brackets.
+// if-then-else and let-in are valid operands of binary operators (rules 5
+// and 6 of the §5 primitive-expression definition compose under rule 3).
+func (p *Parser) postfix() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.at(TokKeyword, "if"):
+		return p.ifExpr()
+	case p.at(TokKeyword, "let"):
+		return p.letExpr()
+
+	case p.at(TokInt, ""):
+		tok := p.next()
+		v, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("val: %s: bad integer literal %q", tok.Pos, tok.Text)
+		}
+		return &IntLit{base: base{P: tok.Pos}, Val: v}, nil
+
+	case p.at(TokReal, ""):
+		tok := p.next()
+		f, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("val: %s: bad real literal %q", tok.Pos, tok.Text)
+		}
+		return &RealLit{base: base{P: tok.Pos}, F: f, Text: tok.Text}, nil
+
+	case p.accept(TokKeyword, "true"):
+		return &BoolLit{base: base{P: t.Pos}, Val: true}, nil
+	case p.accept(TokKeyword, "false"):
+		return &BoolLit{base: base{P: t.Pos}, Val: false}, nil
+
+	case p.at(TokKeyword, "min"), p.at(TokKeyword, "max"):
+		tok := p.next()
+		op := OpMin
+		if tok.Text == "max" {
+			op = OpMax
+		}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		b, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Binary{base: base{P: tok.Pos}, Op: op, L: a, R: b}, nil
+
+	case p.accept(TokKeyword, "abs"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Unary{base: base{P: t.Pos}, Op: OpAbs, E: a}, nil
+
+	case p.accept(TokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case p.accept(TokPunct, "["):
+		// array initializer [r: E]
+		at, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return &ArrayInit{base: base{P: t.Pos}, At: at, Val: v}, nil
+
+	case p.at(TokIdent, ""):
+		tok := p.next()
+		if p.accept(TokPunct, "[") {
+			sub, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(TokPunct, ":") {
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokPunct, "]"); err != nil {
+					return nil, err
+				}
+				return &Append{base: base{P: tok.Pos}, Array: tok.Text, At: sub, Val: v}, nil
+			}
+			var sub2 Expr
+			if p.accept(TokPunct, ",") {
+				if sub2, err = p.expr(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &Index{base: base{P: tok.Pos}, Array: tok.Text, Sub: sub, Sub2: sub2}, nil
+		}
+		return &Name{base: base{P: tok.Pos}, Ident: tok.Text}, nil
+
+	default:
+		return nil, p.errf("expected expression, found %s", p.cur())
+	}
+}

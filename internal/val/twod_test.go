@@ -1,0 +1,199 @@
+package val
+
+import (
+	"strings"
+	"testing"
+
+	"staticpipe/internal/value"
+)
+
+const twoDSrc = `
+param m = 3;
+param n = 4;
+input U : array2[real] [0, m][1, n];
+V : array2[real] :=
+  forall i in [0, m], j in [1, n]
+  construct U[i, j] * 2. + i - j
+  endall;
+output V;
+`
+
+func TestParseTwoD(t *testing.T) {
+	prog, err := Parse(twoDSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := prog.Decls[2]
+	if !in.Ty.TwoD || in.Lo2 == nil || in.Hi2 == nil {
+		t.Fatalf("input decl: %+v", in)
+	}
+	blk := prog.Decls[3]
+	fa := blk.Init.(*Forall)
+	if !fa.TwoD() || fa.IndexVar2 != "j" {
+		t.Fatalf("forall: %+v", fa)
+	}
+	ix := fa.Accum.(*Binary).L.(*Binary).L.(*Binary).L.(*Index)
+	if ix.Sub2 == nil {
+		t.Fatalf("index: %v", ix)
+	}
+	// round-trip
+	prog2, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, prog.String())
+	}
+	if _, err := Check(prog2); err != nil {
+		t.Fatalf("round-trip check: %v", err)
+	}
+}
+
+func TestCheckTwoD(t *testing.T) {
+	c := mustCheck(t, twoDSrc)
+	in, ok := c.Input("U")
+	if !ok || in.Lo != 0 || in.Hi != 3 || in.Lo2 != 1 || in.Hi2 != 4 {
+		t.Fatalf("input info: %+v", in)
+	}
+	if in.Len() != 4*4 {
+		t.Errorf("Len = %d, want 16", in.Len())
+	}
+	blk, _ := c.Block("V")
+	if blk.Ty != Array2Of(KindReal) {
+		t.Errorf("V type %s", blk.Ty)
+	}
+	if blk.Ty.String() != "array2[real]" {
+		t.Errorf("type string %q", blk.Ty)
+	}
+}
+
+func TestInterpTwoD(t *testing.T) {
+	c := mustCheck(t, twoDSrc)
+	u := make([]value.Value, 16)
+	for i := range u {
+		u[i] = value.R(float64(i))
+	}
+	out, err := Interp(c, map[string][]value.Value{"U": u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := out["V"]
+	if v.W != 4 || v.Lo != 0 || v.Lo2 != 1 || v.Hi() != 3 {
+		t.Fatalf("V shape: %+v", v)
+	}
+	// V[i,j] = U[i,j]*2 + i - j; U[i,j] = 4(i) + (j-1)
+	got, err := v.At2(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(4*2+2)*2 + 2 - 3
+	if got.AsReal() != want {
+		t.Errorf("V[2,3] = %v, want %v", got, want)
+	}
+	if _, err := v.At2(4, 1); err == nil {
+		t.Error("out-of-range At2 accepted")
+	}
+	if _, err := v.At2(0, 0); err == nil {
+		t.Error("below second range accepted")
+	}
+	if _, err := v.At(0); err == nil {
+		t.Error("single subscript on 2-D accepted")
+	}
+	one := &ArrayVal{Lo: 0, Elems: u[:4]}
+	if _, err := one.At2(0, 0); err == nil {
+		t.Error("At2 on 1-D accepted")
+	}
+}
+
+func TestCheckTwoDErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"one subscript", `
+input U : array2[real] [0, 3][0, 3];
+A : array[real] := forall i in [0, 3] construct U[i] endall;
+output A;`, "subscripts"},
+		{"two subscripts on vector", `
+input U : array[real] [0, 3];
+A : array[real] := forall i in [0, 3] construct U[i, i] endall;
+output A;`, "subscripts"},
+		{"bad second subscript type", `
+input U : array2[real] [0, 3][0, 3];
+A : array2[real] := forall i in [0, 3], j in [0, 3] construct U[i, 1.5] endall;
+output A;`, "integer"},
+		{"append 2d", `
+A : array2[real] :=
+  for i : integer := 1; T : array2[real] := [0: 0.]
+  do if i < 3 then iter T := T[i: 1.]; i := i+1 enditer else T endif endfor;
+output A;`, "initialized as"},
+		{"nonmanifest second range", `
+input U : array2[real] [0, 3][0, k];
+output U;`, "constant"},
+		{"dup index var", `
+input U : array2[real] [0, 3][0, 3];
+A : array2[real] := forall i in [0, 3], i in [0, 3] construct U[i, i] endall;
+output A;`, "redefined"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err == nil {
+			_, err = Check(prog)
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseErrorsTwoD(t *testing.T) {
+	bad := []string{
+		`input U : array2[real] [0, 3];`,                              // missing second range
+		`input U : array2[real] [0, 3][0 3];`,                         // missing comma
+		`A : array2[real] := forall i in [0,3], construct 1. endall;`, // dangling comma
+		`A : array2[real] := forall i in [0,3], j in [0 3] construct 1. endall;`,
+		`A : array[real] := forall i in [0,3] construct U[1, endall;`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestMiscStrings(t *testing.T) {
+	// Exercise the remaining String methods for diagnostics quality.
+	e, err := ParseExpr("U[i, j+1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "U[i, (j + 1)]" {
+		t.Errorf("index string %q", e.String())
+	}
+	fa, _ := ParseExpr("forall i in [0,1], j in [2,3] construct i+j endall")
+	if !strings.Contains(fa.String(), "j in [2, 3]") {
+		t.Errorf("forall string %q", fa.String())
+	}
+	it, _ := ParseExpr("iter x := 1; y := 2 enditer")
+	if !strings.Contains(it.String(), "x := 1") {
+		t.Errorf("iter string %q", it.String())
+	}
+	fi, _ := ParseExpr("for i : integer := 0 do 1. endfor")
+	if !strings.Contains(fi.String(), "for i") {
+		t.Errorf("foriter string %q", fi.String())
+	}
+	ap, _ := ParseExpr("T[i: 1.]")
+	if ap.String() != "T[i: 1.]" {
+		t.Errorf("append string %q", ap.String())
+	}
+	ai, _ := ParseExpr("[0: 2.5]")
+	if ai.String() != "[0: 2.5]" {
+		t.Errorf("arrayinit string %q", ai.String())
+	}
+	if OpNE.String() != "~=" || !OpLE.Relational() || OpAdd.Relational() {
+		t.Error("op helpers")
+	}
+	if TokPunct.String() != "punctuation" || TokKind(99).String() != "invalid token" {
+		t.Error("token kind strings")
+	}
+}

@@ -1,0 +1,112 @@
+// Package staticpipe reproduces Dennis & Gao, "Maximum Pipelining of Array
+// Operations on Static Data Flow Machine" (MIT CSG Memo 233 / ICPP 1983):
+// a compiler from pipe-structured Val programs — acyclic compositions of
+// forall and for-iter array blocks — to machine-level static dataflow
+// instruction graphs that run fully pipelined (one result per two
+// instruction times), together with two simulators that execute those
+// graphs: the firing-rule simulator of package exec and the packet-level
+// machine of package machine (PEs, function units, array memories, routing
+// networks).
+//
+// Quick start:
+//
+//	u, err := staticpipe.Compile(src, staticpipe.Options{})
+//	res, err := u.Run(map[string][]staticpipe.Value{"C": staticpipe.Reals(data)})
+//	fmt.Println(res.Outputs["A"], res.II("A")) // II == 2: fully pipelined
+//
+// The Val subset, the compilation schemes (selection gating, Todd's
+// for-iter scheme, the companion-function pipeline), and the balancing
+// algorithms (including the min-cost-flow optimum of §8) are documented in
+// DESIGN.md; EXPERIMENTS.md records the reproduction of every figure and
+// quantitative claim in the paper.
+package staticpipe
+
+import (
+	"staticpipe/internal/core"
+	"staticpipe/internal/exec"
+	"staticpipe/internal/forall"
+	"staticpipe/internal/foriter"
+	"staticpipe/internal/machine"
+	"staticpipe/internal/mcm"
+	"staticpipe/internal/value"
+)
+
+// Value is a scalar datum (integer, real, or boolean).
+type Value = value.Value
+
+// Reals converts a float64 slice to a value stream.
+func Reals(xs []float64) []Value { return value.Reals(xs) }
+
+// Ints converts an int64 slice to a value stream.
+func Ints(xs []int64) []Value { return value.Ints(xs) }
+
+// Floats converts a value stream back to float64s.
+func Floats(vs []Value) []float64 { return value.Floats(vs) }
+
+// Options selects compilation strategies; the zero value is the paper's
+// recommended configuration (pipeline foralls, companion-scheme for-iters,
+// optimal balancing).
+type Options = core.Options
+
+// Scheme selectors re-exported for Options.
+const (
+	ForallPipeline = forall.Pipeline
+	ForallParallel = forall.Parallel
+	ForIterAuto    = foriter.Auto
+	ForIterTodd    = foriter.Todd
+	ForIterComp    = foriter.Companion
+)
+
+// Unit is a compiled pipe-structured program.
+type Unit = core.Unit
+
+// RunResult is the outcome of a graph-level run.
+type RunResult = core.RunResult
+
+// Compile parses, type-checks, and compiles a pipe-structured Val program
+// into a balanced, fully pipelined instruction graph.
+func Compile(src string, opts Options) (*Unit, error) {
+	return core.Compile(src, opts)
+}
+
+// MachineConfig describes a packet-level machine (PE/FU/AM counts, routing
+// network, placement strategy).
+type MachineConfig = machine.Config
+
+// Routing network selectors for MachineConfig.Network.
+const (
+	NetCrossbar  = machine.Crossbar
+	NetButterfly = machine.Butterfly
+)
+
+// MachineResult is a packet-level run's outcome and statistics.
+type MachineResult = machine.Result
+
+// RunMachine executes a compiled unit on the cycle-accurate packet-level
+// machine simulator.
+func RunMachine(u *Unit, inputs map[string][]Value, cfg MachineConfig) (*MachineResult, error) {
+	if err := u.Compiled.SetInputs(inputs); err != nil {
+		return nil, err
+	}
+	return machine.Run(u.Compiled.Graph, cfg)
+}
+
+// PredictII returns the analytical initiation-interval bound of a compiled
+// unit (maximum cycle ratio of its timing constraints; 2 = fully
+// pipelined).
+func PredictII(u *Unit) (float64, error) {
+	r, err := mcm.PredictII(u.Compiled.Graph)
+	if err != nil {
+		return 0, err
+	}
+	return r.Float(), nil
+}
+
+// FullyPipelined reports whether a run sustained the architecture's
+// maximum rate at the named output.
+func FullyPipelined(r *RunResult, output string) bool {
+	return r.Exec.FullyPipelined(output)
+}
+
+// ExecOptions configures graph-level simulation (exposed for advanced use).
+type ExecOptions = exec.Options

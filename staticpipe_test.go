@@ -1,0 +1,128 @@
+package staticpipe
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"staticpipe/internal/progs"
+)
+
+// TestFacadeQuickstart exercises the public API end to end, as the README
+// quick start does.
+func TestFacadeQuickstart(t *testing.T) {
+	src, inputs := example1Program(12)
+	u, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !FullyPipelined(res, "A") {
+		t.Errorf("II = %v", res.II("A"))
+	}
+	if err := u.Validate(inputs, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	ii, err := PredictII(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii != 2 {
+		t.Errorf("predicted II = %v", ii)
+	}
+	a := res.Outputs["A"]
+	if got := Floats(a.Elems); len(got) != 14 {
+		t.Errorf("A has %d elements", len(got))
+	}
+}
+
+func TestFacadeMachine(t *testing.T) {
+	src, inputs := fig2Program(32)
+	u, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := RunMachine(u, inputs, MachineConfig{PEs: 4, AMs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := u.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, ev := mres.Output("Y"), eres.Outputs["Y"].Elems
+	if len(mv) != len(ev) {
+		t.Fatalf("machine %d vs exec %d outputs", len(mv), len(ev))
+	}
+	for i := range ev {
+		if mv[i] != ev[i] {
+			t.Errorf("Y[%d]: machine %v, exec %v", i, mv[i], ev[i])
+		}
+	}
+}
+
+func TestFacadeSchemeConstants(t *testing.T) {
+	src, inputs := example2Program(16)
+	todd, err := Compile(src, Options{ForIterScheme: ForIterTodd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(src, Options{ForIterScheme: ForIterComp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := todd.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := comp.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.II("X") != 3 || rc.II("X") != 2 {
+		t.Errorf("II todd=%v companion=%v", rt.II("X"), rc.II("X"))
+	}
+}
+
+func TestFacadeValueHelpers(t *testing.T) {
+	vs := Ints([]int64{1, 2})
+	if vs[1].AsInt() != 2 {
+		t.Error("Ints")
+	}
+	fs := Floats(Reals([]float64{1.5}))
+	if fs[0] != 1.5 {
+		t.Error("Floats round trip")
+	}
+}
+
+// TestTestdataCorpus compiles and validates every .val program shipped in
+// testdata/ with synthetic inputs — the same files the dfc and dfsim tools
+// are documented against.
+func TestTestdataCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.val")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, err := Compile(string(src), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := map[string][]Value{}
+			for _, in := range u.Checked.Inputs {
+				inputs[in.Name] = progs.Synth("sin", in.Len())
+			}
+			if err := u.Validate(inputs, 1e-9); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
