@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	dfbench [-quick] [-only E7]
+//	dfbench [-quick] [-only E7] [-json BENCH_run.json] [-metrics] [-trace PREFIX]
+//
+// -json captures every headline number as machine-readable records for the
+// perf trajectory; -metrics prints a per-cell digest after each simulated
+// run; -trace PREFIX writes one Chrome trace-event JSON file per run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,13 +31,80 @@ import (
 	"staticpipe/internal/machine"
 	"staticpipe/internal/progs"
 	"staticpipe/internal/recurrence"
+	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
 
 var (
-	quick = flag.Bool("quick", false, "smaller problem sizes")
-	only  = flag.String("only", "", "run a single experiment, e.g. E7")
+	quick    = flag.Bool("quick", false, "smaller problem sizes")
+	only     = flag.String("only", "", "run a single experiment, e.g. E7")
+	jsonOut  = flag.String("json", "", "write results as machine-readable JSON (e.g. BENCH_run.json)")
+	metricsF = flag.Bool("metrics", false, "print a per-cell metrics digest after each simulated run")
+	tracePfx = flag.String("trace", "", "write Chrome trace-event JSON per run to PREFIX-NNN-label.json")
 )
+
+// benchRecord is one headline number in -json output.
+type benchRecord struct {
+	Exp    string  `json:"exp"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+var (
+	records []benchRecord
+	curExp  string
+)
+
+// record captures one headline number under the current experiment.
+func record(metric string, v float64) {
+	if *jsonOut != "" {
+		records = append(records, benchRecord{Exp: curExp, Metric: metric, Value: v})
+	}
+}
+
+var traceSeq int
+
+// runTracer builds the tracer for one simulated run; both returns are
+// no-ops unless -metrics or -trace is set. Call finish after the run.
+func runTracer(label string) (tr trace.Tracer, finish func()) {
+	if !*metricsF && *tracePfx == "" {
+		return nil, func() {}
+	}
+	var multi trace.Multi
+	var agg *trace.Metrics
+	if *metricsF {
+		agg = trace.NewMetrics()
+		multi = append(multi, agg)
+	}
+	var chrome *trace.Chrome
+	var f *os.File
+	var name string
+	if *tracePfx != "" {
+		traceSeq++
+		name = fmt.Sprintf("%s-%03d-%s.json", *tracePfx, traceSeq, label)
+		var err error
+		f, err = os.Create(name)
+		if err != nil {
+			fatal(err)
+		}
+		chrome = trace.NewChrome(f)
+		multi = append(multi, chrome)
+	}
+	return multi, func() {
+		if agg != nil {
+			fmt.Printf("  -- metrics (%s) --\n%s", label, agg.Summary(6))
+		}
+		if chrome != nil {
+			if err := chrome.Close(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote trace %s\n", name)
+		}
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -68,10 +140,27 @@ func main() {
 		if *quick {
 			size = e.quickSize
 		}
+		curExp = e.id
 		fmt.Printf("=== %s — %s ===\n", e.id, e.title)
 		start := time.Now()
 		e.run(size)
+		record("seconds", time.Since(start).Seconds())
 		fmt.Printf("(%.2fs)\n\n", time.Since(start).Seconds())
+	}
+	if *jsonOut != "" {
+		out := struct {
+			Tool    string        `json:"tool"`
+			Quick   bool          `json:"quick"`
+			Results []benchRecord `json:"results"`
+		}{Tool: "dfbench", Quick: *quick, Results: records}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(records), *jsonOut)
 	}
 }
 
@@ -82,6 +171,8 @@ func fatal(err error) {
 
 // run compiles and runs a program, returning the result.
 func run(p progs.Program, opts core.Options) (*core.Unit, *core.RunResult) {
+	tr, finish := runTracer(p.Name)
+	opts.Tracer = tr
 	u, err := core.Compile(p.Source, opts)
 	if err != nil {
 		fatal(err)
@@ -90,7 +181,21 @@ func run(p progs.Program, opts core.Options) (*core.Unit, *core.RunResult) {
 	if err != nil {
 		fatal(err)
 	}
+	finish()
 	return u, res
+}
+
+// machineRun runs a graph on the packet-level machine under the bench
+// tracer.
+func machineRun(label string, g *graph.Graph, cfg machine.Config) *machine.Result {
+	tr, finish := runTracer(label)
+	cfg.Tracer = tr
+	res, err := machine.Run(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	finish()
+	return res
 }
 
 func e1(n int) {
@@ -98,6 +203,7 @@ func e1(n int) {
 	_, res := run(p, core.Options{})
 	fmt.Printf("  %-34s paper: II = 2      measured: II = %.3f over %d results\n",
 		"fully pipelined scalar pipe", res.II(p.Output), n)
+	record("ii", res.II(p.Output))
 }
 
 func e2(n int) {
@@ -121,6 +227,7 @@ func e2(n int) {
 			fatal(err)
 		}
 		fmt.Printf("  %8d  %14.3f  %10d\n", stages, res.II("out"), res.Arrivals["out"][0].Cycle)
+		record(fmt.Sprintf("ii_stages_%d", stages), res.II("out"))
 	}
 }
 
@@ -131,6 +238,8 @@ func e3(m int) {
 	fmt.Printf("  paper: selection + FIFO skew buffers give full pipelining\n")
 	fmt.Printf("  %-12s  II = %.3f\n", "balanced", bal.II(p.Output))
 	fmt.Printf("  %-12s  II = %.3f\n", "unbalanced", unbal.II(p.Output))
+	record("ii_balanced", bal.II(p.Output))
+	record("ii_unbalanced", unbal.II(p.Output))
 }
 
 func e4(n int) {
@@ -140,6 +249,8 @@ func e4(n int) {
 	fmt.Printf("  paper: gated arms + MERGE, \"fully pipelined ... only if all paths are of equal length\"\n")
 	fmt.Printf("  %-12s  II = %.3f\n", "balanced", bal.II(p.Output))
 	fmt.Printf("  %-12s  II = %.3f\n", "unbalanced", unbal.II(p.Output))
+	record("ii_balanced", bal.II(p.Output))
+	record("ii_unbalanced", unbal.II(p.Output))
 }
 
 func e5(m int) {
@@ -149,6 +260,8 @@ func e5(m int) {
 	fmt.Printf("  paper (Theorem 2): every primitive forall is fully pipelined\n")
 	fmt.Printf("  m=%d: II = %.3f, cells = %d (buffer stages %d)\n",
 		m, res.II(p.Output), stats.Cells, stats.BufferUnits)
+	record("ii", res.II(p.Output))
+	record("cells", float64(stats.Cells))
 	if err := u.Validate(p.Inputs, 1e-9); err != nil {
 		fatal(err)
 	}
@@ -160,6 +273,7 @@ func e6(m int) {
 	_, res := run(p, core.Options{ForIterScheme: foriter.Todd})
 	fmt.Printf("  paper: \"the initialization rate of the pipeline can not be higher than 1/3\"\n")
 	fmt.Printf("  Todd scheme: II = %.3f (rate %.3f)\n", res.II(p.Output), 1/res.II(p.Output))
+	record("ii_todd", res.II(p.Output))
 }
 
 func e7(m int) {
@@ -170,6 +284,9 @@ func e7(m int) {
 	fmt.Printf("  %-12s  II = %.3f\n", "todd", todd.II(p.Output))
 	fmt.Printf("  %-12s  II = %.3f\n", "companion", comp.II(p.Output))
 	fmt.Printf("  speedup %.2fx\n", todd.II(p.Output)/comp.II(p.Output))
+	record("ii_todd", todd.II(p.Output))
+	record("ii_companion", comp.II(p.Output))
+	record("speedup", todd.II(p.Output)/comp.II(p.Output))
 	if err := u.Validate(p.Inputs, 1e-9); err != nil {
 		fatal(err)
 	}
@@ -185,6 +302,8 @@ func e8(m int) {
 	}
 	fmt.Printf("  paper (Theorem 4): the composed program is fully pipelined\n")
 	fmt.Printf("  end-to-end II = %.3f, predicted %s\n", res.II(p.Output), pred)
+	record("ii", res.II(p.Output))
+	record("ii_predicted", pred.Float())
 	for _, blk := range u.Compiled.Blocks {
 		fmt.Printf("  block %-4s %-8s scheme=%s\n", blk.Name, blk.Form, blk.Scheme)
 	}
@@ -214,6 +333,8 @@ func e9(n int) {
 		}
 		nb, ob := balance.TotalSlack(cons, naive), balance.TotalSlack(cons, opt)
 		fmt.Printf("  %8d  %16d  %16d  %11.1f%%\n", size, nb, ob, 100*float64(nb-ob)/float64(nb))
+		record(fmt.Sprintf("naive_buffers_%d", size), float64(nb))
+		record(fmt.Sprintf("optimal_buffers_%d", size), float64(ob))
 	}
 }
 
@@ -240,6 +361,7 @@ func e10(n int) {
 			fatal(err)
 		}
 		fmt.Printf("  %8d  %12d  %14.3f\n", rows, 2*rows-3, res.II("x"))
+		record(fmt.Sprintf("ii_rows_%d", rows), res.II("x"))
 	}
 }
 
@@ -295,14 +417,13 @@ output A;
 	if err := u.Compiled.SetInputs(map[string][]value.Value{"B": bs, "C": cs}); err != nil {
 		fatal(err)
 	}
-	res, err := machine.Run(u.Compiled.Graph, machine.Config{PEs: 8, AMs: 2})
-	if err != nil {
-		fatal(err)
-	}
+	res := machineRun("e12-am-fraction", u.Compiled.Graph, machine.Config{PEs: 8, AMs: 2})
 	fmt.Printf("  paper: \"one eighth or less of the operation packets would be sent to the array memories\"\n")
 	fmt.Printf("  measured AM fraction: %.4f of %d packets (result %d, ack %d, operation %d)\n",
 		res.AMFraction(), res.TotalPackets,
 		res.Packets["result"], res.Packets["ack"], res.Packets["operation"])
+	record("am_fraction", res.AMFraction())
+	record("total_packets", float64(res.TotalPackets))
 }
 
 func e13(m int) {
@@ -317,11 +438,10 @@ func e13(m int) {
 	fmt.Printf("  machine-level makespan of the Fig 3 program (crossbar network, 4 AMs)\n")
 	fmt.Printf("  %8s  %14s  %14s\n", "PEs", "cycles", "PE util")
 	for _, pes := range []int{1, 2, 4, 8, 16, 32} {
-		res, err := machine.Run(u.Compiled.Graph, machine.Config{PEs: pes, AMs: 4})
-		if err != nil {
-			fatal(err)
-		}
+		res := machineRun(fmt.Sprintf("e13-pes-%d", pes), u.Compiled.Graph, machine.Config{PEs: pes, AMs: 4})
 		fmt.Printf("  %8d  %14d  %13.1f%%\n", pes, res.Cycles, 100*res.Utilization())
+		record(fmt.Sprintf("cycles_pes_%d", pes), float64(res.Cycles))
+		record(fmt.Sprintf("util_pes_%d", pes), res.Utilization())
 	}
 }
 
@@ -359,6 +479,7 @@ output V;
 	fmt.Printf("  paper (§9): \"the extension ... to array values of multiple dimension is straightforward\"\n")
 	fmt.Printf("  %dx%d five-point Jacobi sweep: II = %.3f, matches the interpreter\n",
 		side, side, res.II("V"))
+	record("ii", res.II("V"))
 }
 
 func e16(m int) {
@@ -374,6 +495,9 @@ func e16(m int) {
 		u, res := run(p, s.opt)
 		fmt.Printf("    %-26s cells=%4d  II=%.3f\n", s.name,
 			u.Compiled.Graph.ComputeStats().Cells, res.II(p.Output))
+		key := strings.ReplaceAll(s.name, " ", "_")
+		record("ii_"+key, res.II(p.Output))
+		record("cells_"+key, float64(u.Compiled.Graph.ComputeStats().Cells))
 	}
 
 	fp := progs.Fig3(m)
@@ -386,19 +510,17 @@ func e16(m int) {
 	}
 	fmt.Printf("  routing network (Fig 3, 8 PEs):\n")
 	for _, nk := range []machine.NetworkKind{machine.Crossbar, machine.Butterfly} {
-		res, err := machine.Run(uu.Compiled.Graph, machine.Config{PEs: 8, AMs: 4, Network: nk})
-		if err != nil {
-			fatal(err)
-		}
+		res := machineRun(fmt.Sprintf("e16-net-%s", nk), uu.Compiled.Graph,
+			machine.Config{PEs: 8, AMs: 4, Network: nk})
 		fmt.Printf("    %-26s cycles=%5d\n", nk, res.Cycles)
+		record(fmt.Sprintf("cycles_net_%s", nk), float64(res.Cycles))
 	}
 	fmt.Printf("  cell placement (Fig 3, 8 PEs, crossbar):\n")
 	for _, as := range []machine.Assignment{machine.RoundRobin, machine.Random, machine.ByStage} {
-		res, err := machine.Run(uu.Compiled.Graph, machine.Config{PEs: 8, AMs: 4, Assign: as, Seed: 5})
-		if err != nil {
-			fatal(err)
-		}
+		res := machineRun(fmt.Sprintf("e16-assign-%s", as), uu.Compiled.Graph,
+			machine.Config{PEs: 8, AMs: 4, Assign: as, Seed: 5})
 		fmt.Printf("    %-26s cycles=%5d\n", as, res.Cycles)
+		record(fmt.Sprintf("cycles_assign_%s", as), float64(res.Cycles))
 	}
 }
 
@@ -415,6 +537,8 @@ func e17(m int) {
 		u, res := run(p, s.opt)
 		fmt.Printf("    %-8s cells=%3d (removed %d)  II=%.3f\n", s.name,
 			u.Compiled.Graph.ComputeStats().Cells, u.Compiled.Deduped, res.II(p.Output))
+		record("ii_"+s.name, res.II(p.Output))
+		record("cells_"+s.name, float64(u.Compiled.Graph.ComputeStats().Cells))
 	}
 	fmt.Printf("  (sharing generators across the loop boundary costs rate; see EXPERIMENTS.md)\n")
 }
@@ -433,5 +557,7 @@ func e14(m int) {
 		u, res := run(p, s.opt)
 		fmt.Printf("  %-10s  %8d  %12.3f\n", s.name,
 			u.Compiled.Graph.ComputeStats().Cells, res.II(p.Output))
+		record("ii_"+s.name, res.II(p.Output))
+		record("cells_"+s.name, float64(u.Compiled.Graph.ComputeStats().Cells))
 	}
 }

@@ -19,6 +19,8 @@
 //	-todd          use Todd's for-iter scheme
 //	-no-balance    skip balancing
 //	-verify        cross-check against the reference interpreter
+//	-trace FILE    write a Chrome trace-event JSON file (Perfetto-loadable)
+//	-metrics       print per-cell/per-unit metrics after the run
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"staticpipe/internal/graph"
 	"staticpipe/internal/machine"
 	"staticpipe/internal/progs"
+	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
 
@@ -51,8 +54,46 @@ func main() {
 		verify    = flag.Bool("verify", false, "cross-check against the interpreter")
 		graphFile = flag.Bool("graph", false, "the argument is a serialized instruction graph (dfc -emit), not Val source")
 		waterfall = flag.Bool("waterfall", false, "print a cell-by-cycle firing chart (use small inputs)")
+		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+		metrics   = flag.Bool("metrics", false, "print per-cell/per-unit metrics after the run")
 	)
 	flag.Parse()
+
+	var tracer trace.Tracer
+	var agg *trace.Metrics
+	var chrome *trace.Chrome
+	var traceFile *os.File
+	if *metrics || *traceOut != "" {
+		var multi trace.Multi
+		if *metrics {
+			agg = trace.NewMetrics()
+			multi = append(multi, agg)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			traceFile = f
+			chrome = trace.NewChrome(f)
+			multi = append(multi, chrome)
+		}
+		tracer = multi
+	}
+	finish := func() {
+		if agg != nil {
+			fmt.Print(agg.Summary(12))
+		}
+		if chrome != nil {
+			if err := chrome.Close(); err != nil {
+				fatal(err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
+	}
 
 	if *graphFile {
 		if len(flag.Args()) != 1 {
@@ -67,7 +108,7 @@ func main() {
 			fatal(err)
 		}
 		if *useMach {
-			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams}
+			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracer}
 			if *butterfly {
 				cfg.Network = machine.Butterfly
 			}
@@ -77,14 +118,16 @@ func main() {
 			}
 			fmt.Print(machine.Describe(res))
 			printOutputs(res.Outputs, *printN)
+			finish()
 			return
 		}
-		res, err := exec.Run(g, exec.Options{})
+		res, err := exec.Run(g, exec.Options{Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(exec.Describe(res))
 		printOutputs(res.Outputs, *printN)
+		finish()
 		return
 	}
 
@@ -92,7 +135,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{NoBalance: *noBal}
+	opts := core.Options{NoBalance: *noBal, Tracer: tracer}
 	if *todd {
 		opts.ForIterScheme = foriter.Todd
 	}
@@ -107,7 +150,15 @@ func main() {
 	}
 
 	if *verify {
-		if err := u.Validate(inputs, 1e-9); err != nil {
+		// Validate runs the graph too; use a tracer-free unit so the traced
+		// run below stays the only one in the event stream.
+		vopts := opts
+		vopts.Tracer = nil
+		vu, err := core.Compile(src, vopts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := vu.Validate(inputs, 1e-9); err != nil {
 			fatal(fmt.Errorf("verification failed: %w", err))
 		}
 		fmt.Println("verified: compiled graph matches the reference interpreter")
@@ -117,7 +168,7 @@ func main() {
 		if err := u.Compiled.SetInputs(inputs); err != nil {
 			fatal(err)
 		}
-		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams}
+		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracer}
 		if *butterfly {
 			cfg.Network = machine.Butterfly
 		}
@@ -127,6 +178,7 @@ func main() {
 		}
 		fmt.Print(machine.Describe(res))
 		printOutputs(res.Outputs, *printN)
+		finish()
 		return
 	}
 
@@ -152,6 +204,7 @@ func main() {
 		byName[name] = arr.Elems
 	}
 	printOutputs(byName, *printN)
+	finish()
 }
 
 func printOutputs(outputs map[string][]value.Value, limit int) {

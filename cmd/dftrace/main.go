@@ -1,0 +1,173 @@
+// dftrace is the pipeline observability tool: it compiles a pipe-structured
+// Val program, runs it under the tracer on either executable model — the
+// firing-rule simulator (default) or the cycle-accurate packet-level
+// machine (-machine) — and reports every cell's achieved inter-firing
+// interval against the analytic maximum-cycle-ratio prediction, together
+// with a bottleneck verdict (unbalanced critical cycle vs saturated machine
+// resource). With -trace it also writes a Chrome trace-event JSON file
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Usage:
+//
+//	dftrace [flags] program.val
+//
+// Flags:
+//
+//	-fill kind     input data: ramp | sin | const | alt (default ramp)
+//	-machine       run on the packet-level machine
+//	-pes/-fus/-ams machine shape (defaults 4/2/2)
+//	-butterfly     use the butterfly routing network
+//	-hotspot       pile every cell onto PE 0 (contention demo)
+//	-todd          use Todd's for-iter scheme
+//	-no-balance    skip balancing (see the unbalanced critical cycle)
+//	-trace FILE    write Chrome trace-event JSON to FILE
+//	-top n         rows in the per-cell rate table (default 12; 0 = all)
+//	-events n      keep and print the last n raw events (default 0)
+//	-summary       also print the raw metrics digest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"staticpipe/internal/core"
+	"staticpipe/internal/foriter"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/machine"
+	"staticpipe/internal/progs"
+	"staticpipe/internal/trace"
+	"staticpipe/internal/trace/analyze"
+	"staticpipe/internal/value"
+)
+
+func main() {
+	var (
+		fill      = flag.String("fill", "ramp", "input data: ramp | sin | const | alt")
+		useMach   = flag.Bool("machine", false, "run on the packet-level machine")
+		pes       = flag.Int("pes", 4, "machine processing elements")
+		fus       = flag.Int("fus", 2, "machine function units")
+		ams       = flag.Int("ams", 2, "machine array memories")
+		butterfly = flag.Bool("butterfly", false, "butterfly routing network")
+		hotspot   = flag.Bool("hotspot", false, "place every compute cell on PE 0")
+		todd      = flag.Bool("todd", false, "Todd's for-iter scheme")
+		noBal     = flag.Bool("no-balance", false, "skip balancing")
+		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+		top       = flag.Int("top", 12, "rows in the per-cell rate table (0 = all)")
+		events    = flag.Int("events", 0, "keep and print the last n raw events")
+		summary   = flag.Bool("summary", false, "print the raw metrics digest too")
+	)
+	flag.Parse()
+
+	src, err := readSource(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{NoBalance: *noBal}
+	if *todd {
+		opts.ForIterScheme = foriter.Todd
+	}
+
+	metrics := trace.NewMetrics()
+	tracers := trace.Multi{metrics}
+	var ring *trace.Ring
+	if *events > 0 {
+		ring = trace.NewRing(*events)
+		tracers = append(tracers, ring)
+	}
+	var chrome *trace.Chrome
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		chrome = trace.NewChrome(traceFile)
+		tracers = append(tracers, chrome)
+	}
+	opts.Tracer = tracers
+
+	u, err := core.Compile(src, opts)
+	if err != nil {
+		fatal(err)
+	}
+	inputs := map[string][]value.Value{}
+	for _, in := range u.Checked.Inputs {
+		inputs[in.Name] = progs.Synth(*fill, in.Len())
+	}
+
+	var ran *graph.Graph
+	if *useMach {
+		if err := u.Compiled.SetInputs(inputs); err != nil {
+			fatal(err)
+		}
+		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracers}
+		if *butterfly {
+			cfg.Network = machine.Butterfly
+		}
+		if *hotspot {
+			cfg.Assign = machine.HotSpot
+		}
+		res, err := machine.Run(u.Compiled.Graph, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(machine.Describe(res))
+		ran = res.Graph
+	} else {
+		res, err := u.Run(inputs)
+		if err != nil {
+			fatal(err)
+		}
+		for _, sink := range res.Exec.Graph.Sinks() {
+			if len(sink.Label) >= 8 && sink.Label[:8] == "discard:" {
+				continue
+			}
+			fmt.Printf("sink %q: %d values, II=%.3f over %d cycles\n",
+				sink.Label, len(res.Exec.Outputs[sink.Label]), res.Exec.II(sink.Label), res.Exec.Cycles)
+		}
+		ran = res.Exec.Graph
+	}
+
+	analysis, err := analyze.Analyze(ran, metrics)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(analysis.Render(*top))
+	if *summary {
+		fmt.Print(metrics.Summary(*top))
+	}
+	if ring != nil {
+		fmt.Printf("last %d of %d events:\n", len(ring.Events()), ring.Total())
+		for _, e := range ring.Events() {
+			fmt.Println("  " + ring.Meta().Format(e))
+		}
+	}
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+}
+
+func readSource(args []string) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("dftrace: expected at most one source file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		data, err := os.ReadFile(args[0])
+		return string(data), err
+	}
+	data, err := io.ReadAll(os.Stdin)
+	return string(data), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

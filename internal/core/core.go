@@ -15,6 +15,7 @@ import (
 	"staticpipe/internal/mcm"
 	"staticpipe/internal/pe"
 	"staticpipe/internal/pipestruct"
+	"staticpipe/internal/trace"
 	"staticpipe/internal/val"
 	"staticpipe/internal/value"
 )
@@ -43,6 +44,10 @@ type Options struct {
 	ArmSlack int
 	// MaxCycles bounds simulation runs (0 = exec.DefaultMaxCycles).
 	MaxCycles int
+	// Tracer, if non-nil, receives the observability event stream of every
+	// Run (see internal/trace). Tracing is passive and does not change
+	// results or cycle counts.
+	Tracer trace.Tracer
 }
 
 // Unit is a compiled pipe-structured program.
@@ -96,7 +101,7 @@ func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
 	if err := u.Compiled.SetInputs(inputs); err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(u.Compiled.Graph, exec.Options{MaxCycles: u.opts.MaxCycles})
+	res, err := exec.Run(u.Compiled.Graph, exec.Options{MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer})
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"staticpipe/internal/graph"
+	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	MaxCycles int
 	// Trace, if non-nil, receives one line per firing (debugging aid).
 	Trace func(cycle int, node *graph.Node, out value.Value)
+	// Tracer, if non-nil, receives the structured observability event
+	// stream (firings, token/ack arrivals, stall classifications). Tracing
+	// is passive: it never alters scheduling, results, or cycle counts.
+	Tracer trace.Tracer
 }
 
 // DefaultMaxCycles bounds runs when Options.MaxCycles is zero.
@@ -106,6 +111,7 @@ type sim struct {
 	outs    map[string][]value.Value
 	arrs    map[string][]Arrival
 	trace   func(int, *graph.Node, value.Value)
+	tr      trace.Tracer
 
 	// candidate tracking: a cell's enabledness only changes when one of
 	// its input arcs fills or one of its output arcs drains.
@@ -146,8 +152,16 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		outs:     map[string][]value.Value{},
 		arrs:     map[string][]Arrival{},
 		trace:    opt.Trace,
+		tr:       opt.Tracer,
 		cand:     map[graph.NodeID]bool{},
 		nextCand: map[graph.NodeID]bool{},
+	}
+	if s.tr != nil {
+		names := make([]string, g.NumNodes())
+		for _, n := range g.Nodes() {
+			names[n.ID] = n.Name()
+		}
+		s.tr.Start(trace.Meta{Cells: names})
 	}
 	for _, a := range g.Arcs() {
 		if a.Init != nil {
@@ -171,6 +185,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		plans := s.collect()
 		if len(plans) == 0 {
 			break
+		}
+		if s.tr != nil {
+			s.emitStalls(cycle, plans)
 		}
 		s.apply(cycle, plans)
 	}
@@ -200,11 +217,32 @@ func (s *sim) collect() []firing {
 	var plans []firing
 	for _, id := range ids {
 		n := s.g.Node(graph.NodeID(id))
-		if f, ok := s.plan(n); ok {
+		if f, why := s.plan(n); why == trace.ReasonNone {
 			plans = append(plans, f)
 		}
 	}
 	return plans
+}
+
+// emitStalls classifies every cell that will not fire this cycle and emits
+// one stall event per waiting cell (tracing only; plan is side-effect
+// free, so this pass cannot perturb the run).
+func (s *sim) emitStalls(cycle int, plans []firing) {
+	firing := make(map[graph.NodeID]bool, len(plans))
+	for _, f := range plans {
+		firing[f.node.ID] = true
+	}
+	for _, n := range s.g.Nodes() {
+		if firing[n.ID] {
+			continue
+		}
+		if _, why := s.plan(n); why == trace.ReasonOperandWait || why == trace.ReasonAckWait {
+			s.tr.Emit(trace.Event{
+				Cycle: int64(cycle), Kind: trace.KindStall,
+				Cell: int32(n.ID), Port: -1, Unit: -1, Src: -1, Dst: -1, Reason: why,
+			})
+		}
+	}
 }
 
 // operand returns the value on port p of n, or nil if absent.
@@ -227,15 +265,18 @@ func consumeArc(n *graph.Node, p int, consume []int) []int {
 	return consume
 }
 
-// plan decides whether cell n can fire now and, if so, what its effects are.
-func (s *sim) plan(n *graph.Node) (firing, bool) {
+// plan decides whether cell n can fire now and, if so, what its effects
+// are. The returned reason is trace.ReasonNone when the cell is enabled and
+// otherwise classifies the stall (used by the observability layer; plan is
+// side-effect free either way).
+func (s *sim) plan(n *graph.Node) (firing, trace.Reason) {
 	f := firing{node: n}
 
 	// Phase 1: operand availability and result computation.
 	switch n.Op {
 	case graph.OpSource:
 		if s.srcPos[n.ID] >= len(n.Stream) {
-			return f, false
+			return f, trace.ReasonDone
 		}
 		f.out = n.Stream[s.srcPos[n.ID]]
 		f.advance = true
@@ -244,7 +285,7 @@ func (s *sim) plan(n *graph.Node) (firing, bool) {
 	case graph.OpCtlGen:
 		total := n.Pattern.Len()
 		if total >= 0 && s.srcPos[n.ID] >= total {
-			return f, false
+			return f, trace.ReasonDone
 		}
 		f.out = value.B(n.Pattern.At(s.srcPos[n.ID]))
 		f.advance = true
@@ -253,7 +294,7 @@ func (s *sim) plan(n *graph.Node) (firing, bool) {
 	case graph.OpSink:
 		v := s.operand(n, 0)
 		if v == nil {
-			return f, false
+			return f, trace.ReasonOperandWait
 		}
 		f.out = *v
 		f.sink = true
@@ -262,7 +303,7 @@ func (s *sim) plan(n *graph.Node) (firing, bool) {
 	case graph.OpMerge:
 		ctl := s.operand(n, 0)
 		if ctl == nil {
-			return f, false
+			return f, trace.ReasonOperandWait
 		}
 		sel := 2
 		if ctl.AsBool() {
@@ -270,12 +311,12 @@ func (s *sim) plan(n *graph.Node) (firing, bool) {
 		}
 		v := s.operand(n, sel)
 		if v == nil {
-			return f, false
+			return f, trace.ReasonOperandWait
 		}
 		// extra control ports (gates) must also be present
 		for p := 3; p < len(n.In); p++ {
 			if s.operand(n, p) == nil {
-				return f, false
+				return f, trace.ReasonOperandWait
 			}
 		}
 		f.out = *v
@@ -290,11 +331,11 @@ func (s *sim) plan(n *graph.Node) (firing, bool) {
 		ctl := s.operand(n, 0)
 		data := s.operand(n, 1)
 		if ctl == nil || data == nil {
-			return f, false
+			return f, trace.ReasonOperandWait
 		}
 		for p := 2; p < len(n.In); p++ {
 			if s.operand(n, p) == nil {
-				return f, false
+				return f, trace.ReasonOperandWait
 			}
 		}
 		pass := ctl.AsBool()
@@ -312,7 +353,7 @@ func (s *sim) plan(n *graph.Node) (firing, bool) {
 		for p := range n.In {
 			v := s.operand(n, p)
 			if v == nil {
-				return f, false
+				return f, trace.ReasonOperandWait
 			}
 			vals[p] = *v
 		}
@@ -332,19 +373,19 @@ func (s *sim) plan(n *graph.Node) (firing, bool) {
 			if a.Gate != graph.NoGate {
 				gv := s.operand(n, a.Gate)
 				if gv == nil {
-					return f, false // gate operand itself not ready
+					return f, trace.ReasonOperandWait // gate operand itself not ready
 				}
 				write = gv.AsBool()
 			}
 			if write {
 				if s.arcTok[a.ID] != nil {
-					return f, false
+					return f, trace.ReasonAckWait
 				}
 				f.produce = append(f.produce, a.ID)
 			}
 		}
 	}
-	return f, true
+	return f, trace.ReasonNone
 }
 
 // ApplyOp evaluates an ordinary (non-gate, non-merge) operator cell; it is
@@ -399,10 +440,25 @@ func (s *sim) apply(cycle int, plans []firing) {
 		n := f.node
 		s.firings[n.ID]++
 		s.nextCand[n.ID] = true
+		if s.tr != nil {
+			s.tr.Emit(trace.Event{
+				Cycle: int64(cycle), Kind: trace.KindFiring,
+				Cell: int32(n.ID), Port: -1, Unit: -1, Src: -1, Dst: -1,
+			})
+		}
 		for _, aid := range f.consume {
 			s.arcTok[aid] = nil
 			// the producer of a drained arc may now be enabled
-			s.nextCand[s.g.Arcs()[aid].From] = true
+			producer := s.g.Arcs()[aid].From
+			s.nextCand[producer] = true
+			if s.tr != nil {
+				// draining the arc is the moment the acknowledge packet
+				// would reach the producer
+				s.tr.Emit(trace.Event{
+					Cycle: int64(cycle), Kind: trace.KindAck,
+					Cell: int32(producer), Port: -1, Unit: -1, Src: -1, Dst: -1,
+				})
+			}
 		}
 		if f.advance {
 			s.srcPos[n.ID]++
@@ -419,7 +475,14 @@ func (s *sim) apply(cycle int, plans []firing) {
 		tok := f.out
 		for _, aid := range f.produce {
 			s.arcTok[aid] = &tok
-			s.nextCand[s.g.Arcs()[aid].To] = true
+			a := s.g.Arcs()[aid]
+			s.nextCand[a.To] = true
+			if s.tr != nil {
+				s.tr.Emit(trace.Event{
+					Cycle: int64(cycle), Kind: trace.KindToken,
+					Cell: int32(a.To), Port: int32(a.ToPort), Unit: -1, Src: -1, Dst: -1,
+				})
+			}
 		}
 	}
 	s.cand, s.nextCand = s.nextCand, s.cand

@@ -21,6 +21,7 @@ import (
 
 	"staticpipe/internal/exec"
 	"staticpipe/internal/graph"
+	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
 
@@ -35,6 +36,10 @@ const (
 	// ByStage assigns contiguous runs of cell ids to each PE, which for
 	// compiler-emitted graphs approximates grouping pipeline stages.
 	ByStage
+	// HotSpot piles every compute cell onto PE 0 — a deliberately bad
+	// placement that saturates one PE's instruction bandwidth and network
+	// port, used to exercise the contention observability.
+	HotSpot
 )
 
 func (a Assignment) String() string {
@@ -43,6 +48,8 @@ func (a Assignment) String() string {
 		return "random"
 	case ByStage:
 		return "by-stage"
+	case HotSpot:
+		return "hot-spot"
 	default:
 		return "round-robin"
 	}
@@ -98,6 +105,11 @@ type Config struct {
 	Seed   int64
 	// MaxCycles bounds the run (default 10M).
 	MaxCycles int
+	// Tracer, if non-nil, receives the structured observability event
+	// stream (firings, packet sends/deliveries, FU activity, stall
+	// classifications). Tracing is passive: it never alters scheduling,
+	// results, or cycle counts.
+	Tracer trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +155,9 @@ type Result struct {
 	Clean  bool
 	// Stalled carries diagnostics if the machine quiesced with work left.
 	Stalled []string
+	// Graph is the graph actually simulated (FIFO cells expanded), the
+	// one trace event cell IDs refer to.
+	Graph *graph.Graph
 }
 
 // Output returns the stream received by the sink with the given label.
@@ -219,6 +234,8 @@ type machine struct {
 	res       *Result
 	inflight  int // local packets in flight
 	fuSeq     int
+	tr        trace.Tracer
+	fired     []bool // per-cell fired-this-cycle scratch (tracing only)
 }
 
 // endpoint layout: [0, PEs) compute PEs, [PEs, PEs+FUs) function units,
@@ -238,9 +255,11 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	m := &machine{
 		cfg:       cfg,
 		g:         g,
+		tr:        cfg.Tracer,
 		residents: map[int][]int{},
 		rrNext:    map[int]int{},
 		res: &Result{
+			Graph:    g,
 			Outputs:  map[string][]value.Value{},
 			Arrivals: map[string][]exec.Arrival{},
 			Packets:  map[string]int{},
@@ -262,6 +281,10 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		m.fus = append(m.fus, &fu{})
 	}
 	m.place()
+	if m.tr != nil {
+		m.fired = make([]bool, g.NumNodes())
+		m.tr.Start(m.meta())
+	}
 	for _, n := range g.Nodes() {
 		if n.Op == graph.OpSink {
 			if _, dup := m.res.Outputs[n.Label]; dup {
@@ -293,6 +316,30 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	return m.res, nil
 }
 
+// meta describes the placed machine for the observability layer.
+func (m *machine) meta() trace.Meta {
+	meta := trace.Meta{
+		Cells:    make([]string, m.g.NumNodes()),
+		Units:    make([]string, m.numEndpoints()),
+		CellUnit: make([]int, m.g.NumNodes()),
+	}
+	for _, n := range m.g.Nodes() {
+		meta.Cells[n.ID] = n.Name()
+		meta.CellUnit[n.ID] = m.cells[n.ID].endpoint
+	}
+	for e := 0; e < m.numEndpoints(); e++ {
+		switch {
+		case e < m.cfg.PEs:
+			meta.Units[e] = fmt.Sprintf("PE%d", e)
+		case e < m.cfg.PEs+m.cfg.FUs:
+			meta.Units[e] = fmt.Sprintf("FU%d", e-m.cfg.PEs)
+		default:
+			meta.Units[e] = fmt.Sprintf("AM%d", e-m.cfg.PEs-m.cfg.FUs)
+		}
+	}
+	return meta
+}
+
 // place assigns cells to endpoints: sources and sinks to AMs, everything
 // else per the configured strategy.
 func (m *machine) place() {
@@ -321,6 +368,8 @@ func (m *machine) place() {
 			per = 1
 		}
 		peOf = func(i, id int) int { return min(i/per, m.cfg.PEs-1) }
+	case HotSpot:
+		peOf = func(i, id int) int { return 0 }
 	default:
 		peOf = func(i, id int) int { return i % m.cfg.PEs }
 	}
@@ -362,11 +411,17 @@ func (m *machine) step(now int) bool {
 		rest := f.inflight[:0]
 		for _, job := range f.inflight {
 			if job.doneAt <= now {
+				if m.tr != nil {
+					m.tr.Emit(trace.Event{
+						Cycle: int64(now), Kind: trace.KindFUDone,
+						Cell: int32(job.srcCell), Port: -1, Unit: int32(m.fuEndpoint(fi)), Src: -1, Dst: -1,
+					})
+				}
 				for _, tgt := range job.targets {
 					m.emit(&packet{
 						kind: pktResult, src: m.fuEndpoint(fi), dst: tgt.endpoint,
 						cell: tgt.cell, port: tgt.port, val: job.result,
-					})
+					}, now)
 				}
 			} else {
 				rest = append(rest, job)
@@ -385,11 +440,21 @@ func (m *machine) step(now int) bool {
 				srcCell: p.op.srcCell,
 			})
 			m.res.FUBusy[fi]++
+			if m.tr != nil {
+				m.tr.Emit(trace.Event{
+					Cycle: int64(now), Kind: trace.KindFUStart,
+					Cell: int32(p.op.srcCell), Port: -1, Unit: int32(m.fuEndpoint(fi)), Src: -1, Dst: -1,
+					Aux: int64(lat),
+				})
+			}
 			active = true
 		}
 	}
 
 	// 3. PEs and AMs each retire one enabled instruction.
+	if m.tr != nil {
+		clear(m.fired)
+	}
 	for e := 0; e < m.numEndpoints(); e++ {
 		ids := m.residents[e]
 		if len(ids) == 0 {
@@ -408,6 +473,9 @@ func (m *machine) step(now int) bool {
 			}
 		}
 	}
+	if m.tr != nil {
+		m.emitStalls(now)
+	}
 
 	if m.net.pending() > 0 || m.inflight > 0 {
 		active = true
@@ -416,6 +484,30 @@ func (m *machine) step(now int) bool {
 		active = true
 	}
 	return active
+}
+
+// emitStalls classifies every cell that did not retire this cycle and
+// emits one stall event per waiting cell (tracing only; planCell is
+// side-effect free, so this pass cannot perturb the run). A cell whose plan
+// succeeds but did not fire lost its endpoint's one-instruction-per-cycle
+// slot — PE instruction-bandwidth contention.
+func (m *machine) emitStalls(now int) {
+	for id, c := range m.cells {
+		if m.fired[id] {
+			continue
+		}
+		_, why := m.planCell(c)
+		switch why {
+		case trace.ReasonNone:
+			why = trace.ReasonUnitBusy
+		case trace.ReasonDone:
+			continue
+		}
+		m.tr.Emit(trace.Event{
+			Cycle: int64(now), Kind: trace.KindStall,
+			Cell: int32(id), Port: -1, Unit: int32(c.endpoint), Src: -1, Dst: -1, Reason: why,
+		})
+	}
 }
 
 func (m *machine) latencyOf(op graph.Op) int {
@@ -428,12 +520,21 @@ func (m *machine) latencyOf(op graph.Op) int {
 }
 
 // emit routes a packet, short-circuiting same-endpoint traffic with a
-// one-cycle local delay.
-func (m *machine) emit(p *packet) {
+// one-cycle local delay. now is the emission cycle, stamped on the packet
+// so delivery can report the transit (and queueing) time.
+func (m *machine) emit(p *packet, now int) {
+	p.sentAt = now
 	m.res.Packets[p.kind.String()]++
 	m.res.TotalPackets++
 	if m.isAM(p.src) || m.isAM(p.dst) {
 		m.res.AMPackets++
+	}
+	if m.tr != nil {
+		m.tr.Emit(trace.Event{
+			Cycle: int64(now), Kind: trace.KindSend,
+			Cell: int32(p.trCell()), Port: -1, Unit: -1,
+			Src: int32(p.src), Dst: int32(p.dst), Packet: p.kind.traceKind(),
+		})
 	}
 	if p.src == p.dst {
 		m.localNext = append(m.localNext, p)
@@ -449,6 +550,14 @@ func (m *machine) emit(p *packet) {
 
 // deliver applies an arrived packet to its destination.
 func (m *machine) deliver(p *packet, now int) {
+	if m.tr != nil {
+		m.tr.Emit(trace.Event{
+			Cycle: int64(now), Kind: trace.KindDeliver,
+			Cell: int32(p.trCell()), Port: int32(p.port), Unit: -1,
+			Src: int32(p.src), Dst: int32(p.dst), Packet: p.kind.traceKind(),
+			Aux: int64(now - p.sentAt),
+		})
+	}
 	switch p.kind {
 	case pktAck:
 		m.cells[p.cell].pendingAcks--
@@ -473,48 +582,59 @@ func (c *cell) operand(p int) *value.Value {
 	return c.inTok[p]
 }
 
-// fire attempts to retire cell c; it reports whether it fired.
-func (m *machine) fire(c *cell, now int) bool {
+// cellPlan is a cell's planned retirement effect, computed read-only by
+// planCell and applied by fire. Arithmetic cells (arith) ship an operation
+// packet carrying vals instead of producing out locally.
+type cellPlan struct {
+	consume  []int // ports whose tokens are consumed
+	out      value.Value
+	produced bool
+	advance  bool
+	sink     bool
+	arith    bool
+	vals     []value.Value
+	targets  []target
+}
+
+// planCell decides whether cell c can retire now and, if so, what its
+// effects are. The returned reason is trace.ReasonNone when the cell is
+// enabled and otherwise classifies the stall; planCell has no side
+// effects either way.
+func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
+	var pl cellPlan
 	if c.pendingAcks > 0 {
-		return false
+		return pl, trace.ReasonAckWait
 	}
 	n := c.node
 
-	var (
-		consume  []int // ports whose tokens are consumed
-		out      value.Value
-		produced bool
-		advance  bool
-		sink     bool
-	)
 	switch n.Op {
 	case graph.OpSource:
 		if c.srcPos >= len(n.Stream) {
-			return false
+			return pl, trace.ReasonDone
 		}
-		out = n.Stream[c.srcPos]
-		produced = true
-		advance = true
+		pl.out = n.Stream[c.srcPos]
+		pl.produced = true
+		pl.advance = true
 	case graph.OpCtlGen:
 		total := n.Pattern.Len()
 		if total >= 0 && c.srcPos >= total {
-			return false
+			return pl, trace.ReasonDone
 		}
-		out = value.B(n.Pattern.At(c.srcPos))
-		produced = true
-		advance = true
+		pl.out = value.B(n.Pattern.At(c.srcPos))
+		pl.produced = true
+		pl.advance = true
 	case graph.OpSink:
 		v := c.operand(0)
 		if v == nil {
-			return false
+			return pl, trace.ReasonOperandWait
 		}
-		out = *v
-		sink = true
-		consume = append(consume, 0)
+		pl.out = *v
+		pl.sink = true
+		pl.consume = append(pl.consume, 0)
 	case graph.OpMerge:
 		ctl := c.operand(0)
 		if ctl == nil {
-			return false
+			return pl, trace.ReasonOperandWait
 		}
 		sel := 2
 		if ctl.AsBool() {
@@ -522,133 +642,127 @@ func (m *machine) fire(c *cell, now int) bool {
 		}
 		v := c.operand(sel)
 		if v == nil {
-			return false
+			return pl, trace.ReasonOperandWait
 		}
 		for p := 3; p < len(n.In); p++ {
 			if c.operand(p) == nil {
-				return false
+				return pl, trace.ReasonOperandWait
 			}
 		}
-		out = *v
-		produced = true
-		consume = append(consume, 0, sel)
+		pl.out = *v
+		pl.produced = true
+		pl.consume = append(pl.consume, 0, sel)
 		for p := 3; p < len(n.In); p++ {
-			consume = append(consume, p)
+			pl.consume = append(pl.consume, p)
 		}
 	case graph.OpTGate, graph.OpFGate:
 		ctl := c.operand(0)
 		data := c.operand(1)
 		if ctl == nil || data == nil {
-			return false
+			return pl, trace.ReasonOperandWait
 		}
 		for p := 2; p < len(n.In); p++ {
 			if c.operand(p) == nil {
-				return false
+				return pl, trace.ReasonOperandWait
 			}
 		}
 		pass := ctl.AsBool()
 		if n.Op == graph.OpFGate {
 			pass = !pass
 		}
-		out = *data
-		produced = pass
+		pl.out = *data
+		pl.produced = pass
 		for p := 0; p < len(n.In); p++ {
-			consume = append(consume, p)
+			pl.consume = append(pl.consume, p)
 		}
 	default:
 		vals := make([]value.Value, len(n.In))
 		for p := range n.In {
 			v := c.operand(p)
 			if v == nil {
-				return false
+				return pl, trace.ReasonOperandWait
 			}
 			vals[p] = *v
 		}
 		for p := range n.In {
-			consume = append(consume, p)
+			pl.consume = append(pl.consume, p)
 		}
 		if n.Op.IsArith() {
-			return m.fireArith(c, vals, now)
+			pl.arith = true
+			pl.vals = vals
+		} else {
+			pl.out = exec.ApplyOp(n.Op, vals)
+			pl.produced = true
 		}
-		out = exec.ApplyOp(n.Op, vals)
-		produced = true
 	}
 
-	// Destination list (gates evaluated against held operands).
-	var targets []target
-	if produced {
+	// Destination list (gates evaluated against held operands). Arithmetic
+	// cells always ship their destinations with the operation packet.
+	if pl.produced || pl.arith {
 		for _, a := range n.Out {
 			write := true
 			if a.Gate != graph.NoGate {
 				gv := c.operand(a.Gate)
 				if gv == nil {
-					return false
+					return pl, trace.ReasonOperandWait
 				}
 				write = gv.AsBool()
 			}
 			if write {
-				targets = append(targets, target{
+				pl.targets = append(pl.targets, target{
 					endpoint: m.cells[a.To].endpoint, cell: int(a.To), port: a.ToPort,
 				})
 			}
 		}
 	}
-
-	m.commitConsume(c, consume)
-	if advance {
-		c.srcPos++
-	}
-	if sink {
-		m.res.Outputs[n.Label] = append(m.res.Outputs[n.Label], out)
-		m.res.Arrivals[n.Label] = append(m.res.Arrivals[n.Label], exec.Arrival{Cycle: now, Val: out})
-	}
-	c.pendingAcks = len(targets)
-	for _, tgt := range targets {
-		m.emit(&packet{kind: pktResult, src: c.endpoint, dst: tgt.endpoint,
-			cell: tgt.cell, port: tgt.port, val: out})
-	}
-	return true
+	return pl, trace.ReasonNone
 }
 
-// fireArith ships an operation packet to a function unit; the FU sends the
-// result packets. The cell still owes acknowledgments for every
-// destination it targeted.
-func (m *machine) fireArith(c *cell, vals []value.Value, now int) bool {
+// fire attempts to retire cell c; it reports whether it fired. Arithmetic
+// cells ship an operation packet to a function unit (which sends the result
+// packets); either way the cell owes acknowledgments for every destination
+// targeted.
+func (m *machine) fire(c *cell, now int) bool {
+	pl, why := m.planCell(c)
+	if why != trace.ReasonNone {
+		return false
+	}
 	n := c.node
-	var targets []target
-	for _, a := range n.Out {
-		write := true
-		if a.Gate != graph.NoGate {
-			gv := c.operand(a.Gate)
-			if gv == nil {
-				return false
-			}
-			write = gv.AsBool()
-		}
-		if write {
-			targets = append(targets, target{
-				endpoint: m.cells[a.To].endpoint, cell: int(a.To), port: a.ToPort,
-			})
-		}
+	if m.tr != nil {
+		m.fired[n.ID] = true
+		m.tr.Emit(trace.Event{
+			Cycle: int64(now), Kind: trace.KindFiring,
+			Cell: int32(n.ID), Port: -1, Unit: int32(c.endpoint), Src: -1, Dst: -1,
+		})
 	}
-	var consume []int
-	for p := range n.In {
-		consume = append(consume, p)
+	m.commitConsume(c, pl.consume, now)
+	if pl.advance {
+		c.srcPos++
 	}
-	m.commitConsume(c, consume)
-	c.pendingAcks = len(targets)
-	fi := m.fuSeq % m.cfg.FUs
-	m.fuSeq++
-	m.emit(&packet{
-		kind: pktOp, src: c.endpoint, dst: m.fuEndpoint(fi),
-		op: opPayload{opcode: uint8(n.Op), vals: vals, targets: targets, srcCell: int(n.ID)},
-	})
+	if pl.sink {
+		m.res.Outputs[n.Label] = append(m.res.Outputs[n.Label], pl.out)
+		m.res.Arrivals[n.Label] = append(m.res.Arrivals[n.Label], exec.Arrival{Cycle: now, Val: pl.out})
+	}
+	c.pendingAcks = len(pl.targets)
+	if pl.arith {
+		fi := m.fuSeq % m.cfg.FUs
+		m.fuSeq++
+		m.emit(&packet{
+			kind: pktOp, src: c.endpoint, dst: m.fuEndpoint(fi),
+			op: opPayload{opcode: uint8(n.Op), vals: pl.vals, targets: pl.targets, srcCell: int(n.ID)},
+		}, now)
+		return true
+	}
+	for _, tgt := range pl.targets {
+		m.emit(&packet{kind: pktResult, src: c.endpoint, dst: tgt.endpoint,
+			cell: tgt.cell, port: tgt.port, val: pl.out}, now)
+	}
 	return true
 }
 
 // commitConsume clears consumed operand slots and sends acknowledge
 // packets to their producers.
-func (m *machine) commitConsume(c *cell, ports []int) {
+func (m *machine) commitConsume(c *cell, ports []int, now int) {
 	for _, p := range ports {
 		in := c.node.In[p]
 		if in.Arc == nil {
@@ -659,7 +773,7 @@ func (m *machine) commitConsume(c *cell, ports []int) {
 		}
 		c.inTok[p] = nil
 		producer := m.cells[in.Arc.From]
-		m.emit(&packet{kind: pktAck, src: c.endpoint, dst: producer.endpoint, cell: int(in.Arc.From)})
+		m.emit(&packet{kind: pktAck, src: c.endpoint, dst: producer.endpoint, cell: int(in.Arc.From)}, now)
 	}
 }
 

@@ -1,6 +1,9 @@
 package machine
 
-import "staticpipe/internal/value"
+import (
+	"staticpipe/internal/trace"
+	"staticpipe/internal/value"
+)
 
 // packetKind classifies traffic per the paper's §2: operation packets
 // (instruction shipped to a function unit), result packets (values to
@@ -24,6 +27,19 @@ func (k packetKind) String() string {
 	}
 }
 
+// traceKind maps the machine's packet classes onto the observability
+// layer's.
+func (k packetKind) traceKind() trace.PacketKind {
+	switch k {
+	case pktAck:
+		return trace.PacketAck
+	case pktOp:
+		return trace.PacketOp
+	default:
+		return trace.PacketResult
+	}
+}
+
 // packet is one unit of routing-network traffic.
 type packet struct {
 	kind     packetKind
@@ -35,6 +51,19 @@ type packet struct {
 	// operation packets: opcode, operand values, and the destinations the
 	// function unit must send result packets to.
 	op opPayload
+	// sentAt is the cycle the packet entered the network; delivery minus
+	// sentAt is the observed transit time, queueing included.
+	sentAt int
+}
+
+// trCell is the cell a trace event about this packet should reference: the
+// destination cell for result/ack packets, the shipping cell for operation
+// packets.
+func (p *packet) trCell() int {
+	if p.kind == pktOp {
+		return p.op.srcCell
+	}
+	return p.cell
 }
 
 // opPayload is the body of an operation packet.

@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"staticpipe/internal/trace"
+)
+
+// Tracing must be strictly passive: a machine run with a tracer attached
+// produces identical cycle counts, outputs, arrival times, and packet
+// statistics to an untraced run.
+func TestMachineTracingZeroPerturbation(t *testing.T) {
+	for _, net := range []NetworkKind{Crossbar, Butterfly} {
+		g1, _ := fig2(64)
+		plain, err := Run(g1, Config{PEs: 4, AMs: 2, Network: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, _ := fig2(64)
+		tr := trace.Multi{trace.NewMetrics(), trace.NewRing(128)}
+		traced, err := Run(g2, Config{PEs: 4, AMs: 2, Network: net, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Cycles != traced.Cycles {
+			t.Errorf("%s: cycles %d with nil tracer, %d traced", net, plain.Cycles, traced.Cycles)
+		}
+		if !reflect.DeepEqual(plain.Outputs, traced.Outputs) {
+			t.Errorf("%s: outputs diverge", net)
+		}
+		if !reflect.DeepEqual(plain.Arrivals, traced.Arrivals) {
+			t.Errorf("%s: arrival times diverge", net)
+		}
+		if !reflect.DeepEqual(plain.Packets, traced.Packets) || plain.TotalPackets != traced.TotalPackets {
+			t.Errorf("%s: packet statistics diverge: %v vs %v", net, plain.Packets, traced.Packets)
+		}
+		if !reflect.DeepEqual(plain.PEBusy, traced.PEBusy) {
+			t.Errorf("%s: PE busy counts diverge", net)
+		}
+	}
+}
+
+// The tracer's per-unit retirement counts must agree with the machine's own
+// PEBusy statistics.
+func TestMachineTracingMatchesPEBusy(t *testing.T) {
+	g, _ := fig2(64)
+	m := trace.NewMetrics()
+	res, err := Run(g, Config{PEs: 4, AMs: 2, Tracer: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, want := range res.PEBusy {
+		if got := m.Units[pe].Firings; got != int64(want) {
+			t.Errorf("PE%d: tracer saw %d retirements, machine counted %d", pe, got, want)
+		}
+	}
+}
+
+// A deliberately hot-spotted assignment (every compute cell on PE 0) must
+// drive PE 0's network port to saturation — the crossbar delivers at most
+// one packet per endpoint per cycle, and all result/ack traffic now funnels
+// into one endpoint — while RoundRobin spreads the load evenly.
+func TestHotSpotNetworkContention(t *testing.T) {
+	const pes = 4
+
+	g1, _ := fig2(128)
+	hot := trace.NewMetrics()
+	if _, err := Run(g1, Config{PEs: pes, AMs: 1, Assign: HotSpot, Tracer: hot}); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := fig2(128)
+	rr := trace.NewMetrics()
+	if _, err := Run(g2, Config{PEs: pes, AMs: 1, Assign: RoundRobin, Tracer: rr}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hot-spotted: PE0's delivery port is (near) saturated, the other PEs
+	// retire nothing.
+	if occ := hot.DeliveryOccupancy(0); occ < 0.9 {
+		t.Errorf("hot-spot PE0 delivery occupancy = %.3f, want >= 0.9 (saturation)", occ)
+	}
+	for pe := 1; pe < pes; pe++ {
+		if occ := hot.Occupancy(pe); occ != 0 {
+			t.Errorf("hot-spot PE%d occupancy = %.3f, want 0 (all cells on PE0)", pe, occ)
+		}
+	}
+
+	// RoundRobin: no PE port anywhere near saturation, and retirements are
+	// spread across all PEs.
+	for pe := 0; pe < pes; pe++ {
+		if occ := rr.DeliveryOccupancy(pe); occ > 0.5 {
+			t.Errorf("round-robin PE%d delivery occupancy = %.3f, want < 0.5", pe, occ)
+		}
+		if rr.Units[pe].Firings == 0 {
+			t.Errorf("round-robin PE%d retired nothing", pe)
+		}
+	}
+
+	// The hot endpoint must also be the contention-wise worst: strictly
+	// higher delivery occupancy than any round-robin port.
+	var rrMax float64
+	for pe := 0; pe < pes; pe++ {
+		if occ := rr.DeliveryOccupancy(pe); occ > rrMax {
+			rrMax = occ
+		}
+	}
+	if hot.DeliveryOccupancy(0) <= rrMax {
+		t.Errorf("hot-spot PE0 (%.3f) not above round-robin max (%.3f)",
+			hot.DeliveryOccupancy(0), rrMax)
+	}
+}

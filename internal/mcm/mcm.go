@@ -265,6 +265,13 @@ func bestRational(lo, hi float64, maxDen int64) (int64, int64) {
 // simulation.
 func PredictII(g *graph.Graph) (Result, error) {
 	g = g.ExpandFIFOs()
+	return MaxRatio(g.NumNodes(), TimingEdges(g))
+}
+
+// TimingEdges builds the marked timing-constraint graph PredictII analyzes:
+// a forward edge per data arc and, for non-feedback arcs, the reverse
+// acknowledge edge carrying the arc's free slot.
+func TimingEdges(g *graph.Graph) []Edge {
 	var edges []Edge
 	for _, a := range g.Arcs() {
 		tok := int64(a.Marking)
@@ -285,5 +292,105 @@ func PredictII(g *graph.Graph) (Result, error) {
 			edges = append(edges, Edge{From: int(a.To), To: int(a.From), Latency: 1 - 2*skew, Tokens: rev})
 		}
 	}
-	return MaxRatio(g.NumNodes(), edges)
+	return edges
+}
+
+// Critical computes PredictII's maximum cycle ratio together with the
+// instruction cells of one critical cycle — the cycle whose
+// latency/tokens ratio attains the bound, and therefore the path a
+// bottleneck report should name. Node IDs refer to the FIFO-expanded graph
+// (the graph the simulators actually run). The cycle is nil for acyclic
+// constraint graphs.
+func Critical(g *graph.Graph) (Result, []graph.NodeID, error) {
+	g = g.ExpandFIFOs()
+	edges := TimingEdges(g)
+	r, err := MaxRatio(g.NumNodes(), edges)
+	if err != nil || !r.HasCycle {
+		return r, nil, err
+	}
+	cyc := CriticalNodes(g.NumNodes(), edges, r)
+	ids := make([]graph.NodeID, len(cyc))
+	for i, v := range cyc {
+		ids[i] = graph.NodeID(v)
+	}
+	return r, ids, nil
+}
+
+// CriticalNodes returns the nodes of one cycle achieving the maximum ratio
+// r previously computed by MaxRatio over the same constraint graph, in
+// traversal order. It returns nil if r reports no cycle.
+//
+// With weights w = Den·latency − Num·tokens no positive cycle exists and a
+// critical cycle has total weight exactly zero. Longest-path potentials
+// from a virtual source make every edge of such a cycle tight
+// (dist[from] + w = dist[to]): around a cycle the potential differences sum
+// to zero and each slack is nonnegative, so all slacks vanish. Conversely
+// any cycle inside the tight subgraph telescopes to total weight zero, i.e.
+// is critical — so one DFS over tight edges finds the answer.
+func CriticalNodes(n int, edges []Edge, r Result) []int {
+	if !r.HasCycle {
+		return nil
+	}
+	w := make([]int64, len(edges))
+	for i, e := range edges {
+		w[i] = r.Den*e.Latency - r.Num*e.Tokens
+	}
+	// Longest-path potentials: no positive cycle exists, so simple paths
+	// attain the optimum and n rounds of relaxation converge.
+	dist := make([]int64, n)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for i, e := range edges {
+			if nd := dist[e.From] + w[i]; nd > dist[e.To] {
+				dist[e.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	adj := make([][]int, n) // tight-edge adjacency: node -> successor nodes
+	for i, e := range edges {
+		if dist[e.From]+w[i] == dist[e.To] {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	// Iterative DFS for a cycle in the tight subgraph; the gray stack is
+	// the current path, so hitting a gray node yields the cycle directly.
+	color := make([]uint8, n)
+	type frame struct{ node, next int }
+	for s := 0; s < n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		stack := []frame{{s, 0}}
+		color[s] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				to := adj[f.node][f.next]
+				f.next++
+				switch color[to] {
+				case 0:
+					color[to] = 1
+					stack = append(stack, frame{to, 0})
+				case 1:
+					var cyc []int
+					for i := range stack {
+						if stack[i].node == to {
+							for _, fr := range stack[i:] {
+								cyc = append(cyc, fr.node)
+							}
+							return cyc
+						}
+					}
+				}
+			} else {
+				color[f.node] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
 }

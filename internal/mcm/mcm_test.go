@@ -235,3 +235,55 @@ func TestQuickRandomRings(t *testing.T) {
 		}
 	}
 }
+
+func TestCriticalNodesRing(t *testing.T) {
+	// A 3-cycle with one token and unit latencies: ratio 3/1, and the
+	// critical cycle is the whole ring.
+	n, edges := ring([]int64{1, 1, 1}, []int64{0, 0, 1})
+	r, err := MaxRatio(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Num != 3 || r.Den != 1 {
+		t.Fatalf("ratio = %d/%d, want 3/1", r.Num, r.Den)
+	}
+	nodes := CriticalNodes(n, edges, r)
+	if len(nodes) != 3 {
+		t.Fatalf("critical cycle = %v, want all 3 ring nodes", nodes)
+	}
+	seen := map[int]bool{}
+	for _, v := range nodes {
+		seen[v] = true
+	}
+	for v := 0; v < 3; v++ {
+		if !seen[v] {
+			t.Fatalf("critical cycle %v misses node %d", nodes, v)
+		}
+	}
+}
+
+func TestCriticalNodesPicksDominantCycle(t *testing.T) {
+	// Two disjoint rings: nodes 0–2 with ratio 3, nodes 3–4 with ratio 2.
+	// Only the slow ring is critical.
+	edges := []Edge{
+		{From: 0, To: 1, Latency: 1}, {From: 1, To: 2, Latency: 1},
+		{From: 2, To: 0, Latency: 1, Tokens: 1},
+		{From: 3, To: 4, Latency: 1}, {From: 4, To: 3, Latency: 1, Tokens: 1},
+	}
+	r, err := MaxRatio(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Num != 3 || r.Den != 1 {
+		t.Fatalf("ratio = %d/%d, want 3/1", r.Num, r.Den)
+	}
+	nodes := CriticalNodes(5, edges, r)
+	if len(nodes) == 0 {
+		t.Fatal("no critical cycle found")
+	}
+	for _, v := range nodes {
+		if v > 2 {
+			t.Fatalf("critical cycle %v includes node %d from the faster ring", nodes, v)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome streams the run as Chrome trace-event JSON (the JSON-array flavour)
+// consumable by chrome://tracing and Perfetto's legacy importer. The mapping:
+//
+//   - one trace "process" (pid) per machine endpoint — PE, FU, or AM — with
+//     pid 0 for the firing-rule model, which has no endpoints;
+//   - one trace "thread" (tid) per instruction cell;
+//   - a cell firing is a complete event (ph "X") of one cycle;
+//   - packet sends/deliveries, token/ack arrivals, and FU initiation and
+//     completion are instant events (ph "i");
+//   - one trace tick (ts) equals one machine cycle.
+//
+// Stall events are omitted by default (one per stalled cell per cycle swamps
+// the viewer); set Stalls to include them as instants.
+type Chrome struct {
+	w       *bufio.Writer
+	meta    Meta
+	started bool
+	closed  bool
+	count   int64
+	err     error
+
+	// Stalls includes KindStall events in the export.
+	Stalls bool
+	// Packets includes KindSend/KindDeliver/KindToken/KindAck events
+	// (default true).
+	Packets bool
+}
+
+// NewChrome returns an exporter writing to w. Call Close to terminate the
+// JSON array and flush.
+func NewChrome(w io.Writer) *Chrome {
+	return &Chrome{w: bufio.NewWriter(w), Packets: true}
+}
+
+func (c *Chrome) begin() {
+	if c.started || c.closed {
+		return
+	}
+	c.started = true
+	c.w.WriteString("[")
+}
+
+func (c *Chrome) sep() {
+	if c.count > 0 {
+		c.w.WriteString(",\n")
+	} else {
+		c.w.WriteString("\n")
+	}
+	c.count++
+}
+
+// Start writes process/thread naming metadata so the viewer shows cell and
+// endpoint names instead of bare ids.
+func (c *Chrome) Start(meta Meta) {
+	c.meta = meta
+	c.begin()
+	for u, name := range meta.Units {
+		c.sep()
+		fmt.Fprintf(c.w, `{"name":"process_name","ph":"M","ts":0,"pid":%d,"tid":0,"args":{"name":%q}}`, u, name)
+	}
+	if len(meta.Units) == 0 {
+		c.sep()
+		fmt.Fprintf(c.w, `{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"firing-rule simulator"}}`)
+	}
+	for id, name := range meta.Cells {
+		pid := 0
+		if meta.CellUnit != nil && id < len(meta.CellUnit) {
+			pid = meta.CellUnit[id]
+		}
+		c.sep()
+		fmt.Fprintf(c.w, `{"name":"thread_name","ph":"M","ts":0,"pid":%d,"tid":%d,"args":{"name":%q}}`, pid, id, name)
+	}
+}
+
+func (c *Chrome) pidOf(e Event) int {
+	if e.Unit >= 0 {
+		return int(e.Unit)
+	}
+	if e.Cell >= 0 && c.meta.CellUnit != nil && int(e.Cell) < len(c.meta.CellUnit) {
+		return c.meta.CellUnit[e.Cell]
+	}
+	return 0
+}
+
+// Emit writes one event.
+func (c *Chrome) Emit(e Event) {
+	if c.closed {
+		return
+	}
+	c.begin()
+	switch e.Kind {
+	case KindFiring:
+		c.sep()
+		fmt.Fprintf(c.w, `{"name":%q,"cat":"firing","ph":"X","ts":%d,"dur":1,"pid":%d,"tid":%d}`,
+			c.meta.CellName(int(e.Cell)), e.Cycle, c.pidOf(e), e.Cell)
+	case KindStall:
+		if !c.Stalls {
+			return
+		}
+		c.sep()
+		fmt.Fprintf(c.w, `{"name":"stall: %s","cat":"stall","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"cell":%q}}`,
+			e.Reason, e.Cycle, c.pidOf(e), e.Cell, c.meta.CellName(int(e.Cell)))
+	case KindSend, KindDeliver:
+		if !c.Packets {
+			return
+		}
+		c.sep()
+		pid := int(e.Src)
+		if e.Kind == KindDeliver {
+			pid = int(e.Dst)
+		}
+		if pid < 0 {
+			pid = 0
+		}
+		tid := e.Cell
+		if tid < 0 {
+			tid = 0
+		}
+		fmt.Fprintf(c.w, `{"name":"%s %s","cat":"packet","ph":"i","s":"p","ts":%d,"pid":%d,"tid":%d,"args":{"src":%q,"dst":%q,"transit":%d}}`,
+			e.Kind, e.Packet, e.Cycle, pid, tid, c.meta.UnitName(int(e.Src)), c.meta.UnitName(int(e.Dst)), e.Aux)
+	case KindToken, KindAck:
+		if !c.Packets {
+			return
+		}
+		c.sep()
+		fmt.Fprintf(c.w, `{"name":%q,"cat":"packet","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"port":%d}}`,
+			e.Kind.String(), e.Cycle, c.pidOf(e), e.Cell, e.Port)
+	case KindFUStart, KindFUDone:
+		c.sep()
+		fmt.Fprintf(c.w, `{"name":"%s","cat":"fu","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"cell":%q,"latency":%d}}`,
+			e.Kind, e.Cycle, e.Unit, e.Cell, c.meta.CellName(int(e.Cell)), e.Aux)
+	}
+}
+
+// Close terminates the JSON array and flushes. The exporter ignores events
+// after Close.
+func (c *Chrome) Close() error {
+	if c.closed {
+		return c.err
+	}
+	c.begin()
+	c.closed = true
+	c.w.WriteString("\n]\n")
+	c.err = c.w.Flush()
+	return c.err
+}

@@ -1,0 +1,330 @@
+// Package trace is the pipeline observability layer of the reproduction:
+// structured events for cell firings, token and acknowledge arrivals, packet
+// hops, and stalls, emitted by both executable models (the firing-rule
+// simulator in package exec and the packet-level machine in package machine)
+// behind one Tracer interface.
+//
+// The paper's central quantitative claim — every instruction cell of a
+// balanced pipe-structured graph fires once per two instruction times (§3) —
+// makes per-cell rate observation the natural debugging tool: a cell whose
+// achieved inter-firing interval exceeds the analytic prediction sits on an
+// unbalanced reconvergent path or behind a saturated machine resource (PE
+// instruction bandwidth, FU latency, network contention; §2, Fig 1). The
+// sinks in this package (Ring, Metrics, Chrome) capture the evidence;
+// Analyze issues the verdict.
+//
+// Tracing is strictly passive: a simulator given a nil Tracer takes only a
+// nil-check per potential event, and an attached tracer never alters
+// scheduling, results, or cycle counts (the zero-perturbation tests in the
+// exec and machine packages pin this down).
+package trace
+
+// Kind classifies an Event.
+type Kind uint8
+
+const (
+	// KindFiring records an instruction cell firing. Cell identifies the
+	// cell; Unit is the hosting endpoint in the machine model (-1 in the
+	// firing-rule model).
+	KindFiring Kind = iota
+	// KindToken records a result token arriving at an operand slot
+	// (Cell/Port). The firing-rule model emits it at the producer's firing
+	// cycle; the machine model folds arrivals into KindDeliver instead.
+	KindToken
+	// KindAck records an acknowledge reaching the producer cell (Cell),
+	// freeing its destination arc. Machine-model acks arrive as
+	// KindDeliver with PacketAck.
+	KindAck
+	// KindSend records a packet entering the routing network: Src/Dst are
+	// endpoints, Packet is the traffic class, Cell the destination cell
+	// (result and acknowledge packets) or the shipping cell (operation
+	// packets).
+	KindSend
+	// KindDeliver records a packet leaving the network at Dst. Aux carries
+	// the transit time in cycles (queueing included), which exposes
+	// network contention directly.
+	KindDeliver
+	// KindFUStart records a function unit initiating an operation: Unit is
+	// the FU endpoint, Cell the shipping cell, Aux the pipeline latency.
+	KindFUStart
+	// KindFUDone records the operation completing and its result packets
+	// being emitted.
+	KindFUDone
+	// KindStall records a cell examined but unable to fire this cycle;
+	// Reason says why. Emitted once per stalled cell per cycle.
+	KindStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFiring:
+		return "firing"
+	case KindToken:
+		return "token"
+	case KindAck:
+		return "ack"
+	case KindSend:
+		return "send"
+	case KindDeliver:
+		return "deliver"
+	case KindFUStart:
+		return "fu-start"
+	case KindFUDone:
+		return "fu-done"
+	case KindStall:
+		return "stall"
+	}
+	return "event"
+}
+
+// PacketKind classifies routed traffic (§2): result packets to operand
+// slots, acknowledge packets on the reverse paths, operation packets to the
+// function units.
+type PacketKind uint8
+
+const (
+	PacketResult PacketKind = iota
+	PacketAck
+	PacketOp
+
+	// NumPacketKinds sizes per-kind accumulator arrays.
+	NumPacketKinds = 3
+)
+
+func (p PacketKind) String() string {
+	switch p {
+	case PacketAck:
+		return "ack"
+	case PacketOp:
+		return "operation"
+	default:
+		return "result"
+	}
+}
+
+// Reason explains a stall (KindStall).
+type Reason uint8
+
+const (
+	// ReasonNone means the cell was enabled (not a stall).
+	ReasonNone Reason = iota
+	// ReasonOperandWait: a required operand token has not arrived.
+	ReasonOperandWait
+	// ReasonAckWait: all operands are present but a destination arc is
+	// still occupied (machine model: acknowledge packets outstanding).
+	ReasonAckWait
+	// ReasonUnitBusy: the cell was enabled but its hosting endpoint had
+	// already retired its one instruction this cycle (machine model only —
+	// PE instruction-bandwidth contention).
+	ReasonUnitBusy
+	// ReasonDone: the cell has exhausted its work (a drained source or
+	// control generator). Not reported as a stall.
+	ReasonDone
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "enabled"
+	case ReasonOperandWait:
+		return "operand-wait"
+	case ReasonAckWait:
+		return "ack-wait"
+	case ReasonUnitBusy:
+		return "unit-busy"
+	case ReasonDone:
+		return "done"
+	}
+	return "reason"
+}
+
+// Event is one observation. Fields not meaningful for a Kind are zero
+// (Cell/Unit/Src/Dst use -1 for "not applicable").
+type Event struct {
+	Cycle  int64
+	Kind   Kind
+	Cell   int32 // instruction cell (graph.NodeID), -1 if n/a
+	Port   int32 // operand port, -1 if n/a
+	Unit   int32 // endpoint (PE/FU/AM) in the machine model, -1 if n/a
+	Src    int32 // packet source endpoint, -1 if n/a
+	Dst    int32 // packet destination endpoint, -1 if n/a
+	Packet PacketKind
+	Reason Reason
+	Aux    int64 // kind-specific: transit cycles (deliver), FU latency (fu-start)
+}
+
+// Meta names the structures a run observes, so sinks can label output
+// without importing the simulators.
+type Meta struct {
+	// Cells holds one diagnostic name per instruction cell, indexed by
+	// node ID of the simulated (FIFO-expanded) graph.
+	Cells []string
+	// Units names the machine endpoints ("PE0", "FU1", "AM0"); empty for
+	// the firing-rule model, which has no machine resources.
+	Units []string
+	// CellUnit maps each cell to its hosting endpoint (machine model);
+	// nil for the firing-rule model.
+	CellUnit []int
+}
+
+// CellName returns the name of cell id, with a numeric fallback.
+func (m Meta) CellName(id int) string {
+	if id >= 0 && id < len(m.Cells) {
+		return m.Cells[id]
+	}
+	if id < 0 {
+		return "-"
+	}
+	return "cell" + itoa(id)
+}
+
+// UnitName returns the name of endpoint id, with a numeric fallback.
+func (m Meta) UnitName(id int) string {
+	if id >= 0 && id < len(m.Units) {
+		return m.Units[id]
+	}
+	if id < 0 {
+		return "-"
+	}
+	return "unit" + itoa(id)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}
+
+// Tracer receives the event stream of one simulation run. Implementations
+// must not assume any call ordering beyond: Start once before the first
+// Emit, events in nondecreasing Cycle order.
+//
+// Simulators hold a Tracer field and guard every emission with a nil check,
+// so a nil Tracer is the documented "disabled" state and costs one branch.
+type Tracer interface {
+	// Start announces the run's metadata before any event.
+	Start(Meta)
+	// Emit records one event.
+	Emit(Event)
+}
+
+// Multi fans events out to several tracers (e.g. Metrics plus a Chrome
+// export in one run).
+type Multi []Tracer
+
+// Start forwards the metadata to every tracer.
+func (m Multi) Start(meta Meta) {
+	for _, t := range m {
+		t.Start(meta)
+	}
+}
+
+// Emit forwards the event to every tracer.
+func (m Multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// Ring is an in-memory sink keeping the most recent events — the flight
+// recorder used to inspect the cycles around a stall.
+type Ring struct {
+	meta  Meta
+	buf   []Event
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultRingCap sizes NewRing(0).
+const DefaultRingCap = 4096
+
+// NewRing returns a ring buffer holding the last cap events (cap <= 0 uses
+// DefaultRingCap).
+func NewRing(cap int) *Ring {
+	if cap <= 0 {
+		cap = DefaultRingCap
+	}
+	return &Ring{buf: make([]Event, 0, cap)}
+}
+
+// Start records the run metadata.
+func (r *Ring) Start(m Meta) { r.meta = m }
+
+// Meta returns the metadata announced by Start.
+func (r *Ring) Meta() Meta { return r.meta }
+
+// Emit appends the event, evicting the oldest once full.
+func (r *Ring) Emit(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Total returns how many events were emitted over the run (including
+// evicted ones).
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		out := make([]Event, len(r.buf))
+		copy(out, r.buf)
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Format renders an event using the run's metadata, one line, for logs and
+// the dftrace -events dump.
+func (m Meta) Format(e Event) string {
+	s := "c=" + itoa(int(e.Cycle)) + " " + e.Kind.String()
+	switch e.Kind {
+	case KindFiring:
+		s += " " + m.CellName(int(e.Cell))
+		if e.Unit >= 0 {
+			s += " @" + m.UnitName(int(e.Unit))
+		}
+	case KindToken:
+		s += " -> " + m.CellName(int(e.Cell)) + ".port" + itoa(int(e.Port))
+	case KindAck:
+		s += " -> " + m.CellName(int(e.Cell))
+	case KindSend, KindDeliver:
+		s += " " + e.Packet.String() + " " + m.UnitName(int(e.Src)) + "->" + m.UnitName(int(e.Dst))
+		if e.Cell >= 0 {
+			s += " cell=" + m.CellName(int(e.Cell))
+		}
+		if e.Kind == KindDeliver {
+			s += " transit=" + itoa(int(e.Aux))
+		}
+	case KindFUStart, KindFUDone:
+		s += " " + m.UnitName(int(e.Unit)) + " for " + m.CellName(int(e.Cell))
+	case KindStall:
+		s += " " + m.CellName(int(e.Cell)) + " (" + e.Reason.String() + ")"
+	}
+	return s
+}

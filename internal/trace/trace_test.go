@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: int64(i), Kind: KindFiring, Cell: int32(i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Errorf("event %d: cycle %d, want %d (oldest-first)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Cycle: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Cycle != 0 || evs[2].Cycle != 2 {
+		t.Fatalf("partial ring: got %v", evs)
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+	m.Start(Meta{Cells: []string{"a", "b"}, Units: []string{"PE0"}})
+	// Cell 0 fires at cycles 0, 2, 4 — achieved II = 2.
+	for _, cy := range []int64{0, 2, 4} {
+		m.Emit(Event{Cycle: cy, Kind: KindFiring, Cell: 0, Unit: 0, Port: -1, Src: -1, Dst: -1})
+	}
+	m.Emit(Event{Cycle: 1, Kind: KindStall, Cell: 1, Reason: ReasonOperandWait, Unit: -1, Port: -1, Src: -1, Dst: -1})
+	m.Emit(Event{Cycle: 3, Kind: KindStall, Cell: 1, Reason: ReasonAckWait, Unit: -1, Port: -1, Src: -1, Dst: -1})
+	m.Emit(Event{Cycle: 3, Kind: KindDeliver, Cell: 1, Packet: PacketResult, Src: 0, Dst: 0, Unit: -1, Port: 0, Aux: 2})
+
+	c0 := m.Cells[0]
+	if c0.Firings != 3 || c0.First != 0 || c0.Last != 4 {
+		t.Fatalf("cell 0 = %+v", c0)
+	}
+	if got := c0.AchievedII(); got != 2 {
+		t.Fatalf("AchievedII = %v, want 2", got)
+	}
+	c1 := m.Cells[1]
+	if c1.OperandWait != 1 || c1.AckWait != 1 || c1.Tokens != 1 {
+		t.Fatalf("cell 1 = %+v", c1)
+	}
+	if m.Cycles() != 5 {
+		t.Fatalf("Cycles = %d, want 5", m.Cycles())
+	}
+	// PE0 retired 3 instructions over 5 cycles and took 1 delivery.
+	if got := m.Occupancy(0); got != 3.0/5 {
+		t.Fatalf("Occupancy = %v, want 0.6", got)
+	}
+	if got := m.DeliveryOccupancy(0); got != 1.0/5 {
+		t.Fatalf("DeliveryOccupancy = %v, want 0.2", got)
+	}
+	if got := m.MeanTransit(0); got != 2 {
+		t.Fatalf("MeanTransit = %v, want 2", got)
+	}
+}
+
+func TestChromeValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	c.Stalls = true
+	c.Start(Meta{Cells: []string{"add", "mul"}, Units: []string{"PE0", "PE1"}, CellUnit: []int{0, 1}})
+	c.Emit(Event{Cycle: 3, Kind: KindFiring, Cell: 0, Unit: 0, Port: -1, Src: -1, Dst: -1})
+	c.Emit(Event{Cycle: 4, Kind: KindSend, Cell: 1, Packet: PacketResult, Src: 0, Dst: 1, Unit: -1, Port: -1})
+	c.Emit(Event{Cycle: 5, Kind: KindDeliver, Cell: 1, Packet: PacketResult, Src: 0, Dst: 1, Unit: -1, Port: -1, Aux: 1})
+	c.Emit(Event{Cycle: 5, Kind: KindStall, Cell: 1, Reason: ReasonOperandWait, Unit: -1, Port: -1, Src: -1, Dst: -1})
+	c.Emit(Event{Cycle: 6, Kind: KindFUStart, Cell: 1, Unit: 1, Aux: 3, Port: -1, Src: -1, Dst: -1})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events exported")
+	}
+	for i, e := range evs {
+		for _, field := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := e[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, e)
+			}
+		}
+	}
+	// The firing must be a complete event on cell 0's thread in PE0's
+	// process.
+	var sawFiring bool
+	for _, e := range evs {
+		if e["ph"] == "X" && e["cat"] == "firing" {
+			sawFiring = true
+			if e["ts"].(float64) != 3 || e["pid"].(float64) != 0 || e["tid"].(float64) != 0 {
+				t.Fatalf("firing event mislabeled: %v", e)
+			}
+		}
+	}
+	if !sawFiring {
+		t.Fatal("no ph=X firing event in export")
+	}
+
+	// Events after Close must be dropped, not corrupt the file.
+	pre := buf.Len()
+	c.Emit(Event{Cycle: 9, Kind: KindFiring, Cell: 0})
+	if buf.Len() != pre {
+		t.Fatal("Emit after Close wrote data")
+	}
+}
+
+func TestMultiFanOut(t *testing.T) {
+	m := NewMetrics()
+	r := NewRing(2)
+	multi := Multi{m, r}
+	multi.Start(Meta{Cells: []string{"a"}})
+	multi.Emit(Event{Cycle: 0, Kind: KindFiring, Cell: 0, Unit: -1})
+	multi.Emit(Event{Cycle: 2, Kind: KindFiring, Cell: 0, Unit: -1})
+	if m.Cells[0].Firings != 2 {
+		t.Fatalf("metrics missed events: %+v", m.Cells[0])
+	}
+	if r.Total() != 2 || len(r.Events()) != 2 {
+		t.Fatalf("ring missed events: total=%d", r.Total())
+	}
+	if r.Meta().CellName(0) != "a" {
+		t.Fatalf("ring meta not forwarded")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	meta := Meta{Cells: []string{"add"}, Units: []string{"PE0", "PE1"}}
+	e := Event{Cycle: 7, Kind: KindDeliver, Cell: 0, Packet: PacketAck, Src: 1, Dst: 0, Aux: 2}
+	got := meta.Format(e)
+	want := "c=7 deliver ack PE1->PE0 cell=add transit=2"
+	if got != want {
+		t.Fatalf("Format = %q, want %q", got, want)
+	}
+}
