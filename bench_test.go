@@ -640,6 +640,40 @@ func BenchmarkE16Network(b *testing.B) {
 	}
 }
 
+// --- E18: compilation cost of the pass pipeline --------------------------
+
+// BenchmarkCompile tracks compile-time cost across pass pipelines (the
+// per-pass split is available from Unit.PassStats or dfc -stats).
+func BenchmarkCompile(b *testing.B) {
+	src, _ := fig3Program(256)
+	for _, cfg := range []struct {
+		name   string
+		passes string
+	}{
+		{"none", ""},
+		{"balance", "balance"},
+		{"balance-naive", "balance-naive"},
+		{"dedup-balance", "dedup,balance"},
+		{"full", "literal-control,arm-slack,dedup,balance,expand-fifos"},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := Options{Passes: cfg.passes}
+			if cfg.passes == "" {
+				opts.NoBalance = true
+			}
+			var u *Unit
+			var err error
+			for i := 0; i < b.N; i++ {
+				u, err = Compile(src, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(u.Compiled.Graph.NumNodes()), "cells")
+		})
+	}
+}
+
 // --- E17: common-cell elimination ablation -------------------------------
 
 func BenchmarkE17Dedup(b *testing.B) {

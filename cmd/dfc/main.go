@@ -19,6 +19,10 @@
 //	-literal-ctl   generate control streams from literal instruction cells
 //	-no-balance    skip balancing
 //	-naive-balance use longest-path leveling instead of optimal balancing
+//	-passes        explicit compilation pass list (overrides the strategy flags)
+//	-dump-after    print the cell listing after the named pass ("all" = every pass)
+//	-verify-each   run the IR verifier after every compilation pass
+//	-stats         print per-pass compilation statistics
 package main
 
 import (
@@ -26,41 +30,59 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"staticpipe/internal/core"
 	"staticpipe/internal/forall"
 	"staticpipe/internal/foriter"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/passes"
 	"staticpipe/internal/pipestruct"
 	"staticpipe/internal/progs"
 	"staticpipe/internal/value"
 )
 
 func main() {
-	var (
-		report   = flag.Bool("report", false, "print the compile report (default)")
-		list     = flag.Bool("list", false, "print the instruction-cell listing")
-		dot      = flag.Bool("dot", false, "print the instruction graph as Graphviz dot")
-		flow     = flag.Bool("flow", false, "print the flow dependency graph as Graphviz dot")
-		todd     = flag.Bool("todd", false, "use Todd's for-iter scheme")
-		parallel = flag.Bool("parallel", false, "use the parallel forall scheme")
-		litCtl   = flag.Bool("literal-ctl", false, "literal control-stream subgraphs")
-		noBal    = flag.Bool("no-balance", false, "skip balancing")
-		naiveBal = flag.Bool("naive-balance", false, "longest-path leveling")
-		dedup    = flag.Bool("dedup", false, "common-cell elimination before balancing")
-		emit     = flag.String("emit", "", "write the loadable instruction graph to this file (run it with dfsim -graph)")
-		fill     = flag.String("fill", "ramp", "input data baked into an emitted graph: ramp | sin | const | alt")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	src, err := readSource(flag.Args())
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dfc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		report    = fs.Bool("report", false, "print the compile report (default)")
+		list      = fs.Bool("list", false, "print the instruction-cell listing")
+		dot       = fs.Bool("dot", false, "print the instruction graph as Graphviz dot")
+		flow      = fs.Bool("flow", false, "print the flow dependency graph as Graphviz dot")
+		todd      = fs.Bool("todd", false, "use Todd's for-iter scheme")
+		parallel  = fs.Bool("parallel", false, "use the parallel forall scheme")
+		litCtl    = fs.Bool("literal-ctl", false, "literal control-stream subgraphs")
+		noBal     = fs.Bool("no-balance", false, "skip balancing")
+		naiveBal  = fs.Bool("naive-balance", false, "longest-path leveling")
+		dedup     = fs.Bool("dedup", false, "common-cell elimination before balancing")
+		passList  = fs.String("passes", "", "comma-separated compilation pass list, e.g. \"dedup,balance\" (available: "+strings.Join(passes.Names(), ", ")+"); overrides the strategy flags")
+		dumpAfter = fs.String("dump-after", "", "print the cell listing after the named pass; \"all\" dumps after every pass")
+		verify    = fs.Bool("verify-each", false, "run the IR verifier after every compilation pass")
+		stats     = fs.Bool("stats", false, "print per-pass compilation statistics")
+		emit      = fs.String("emit", "", "write the loadable instruction graph to this file (run it with dfsim -graph)")
+		fill      = fs.String("fill", "ramp", "input data baked into an emitted graph: ramp | sin | const | alt")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	src, err := readSource(fs.Args(), stdin)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	opts := core.Options{
 		LiteralControl: *litCtl,
 		NoBalance:      *noBal,
 		NaiveBalance:   *naiveBal,
 		Dedup:          *dedup,
+		Passes:         *passList,
+		VerifyEach:     *verify,
 	}
 	if *todd {
 		opts.ForIterScheme = foriter.Todd
@@ -68,48 +90,72 @@ func main() {
 	if *parallel {
 		opts.ForallScheme = forall.Parallel
 	}
+	printed := false
+	dumped := false
+	if *dumpAfter != "" {
+		opts.Snapshot = func(pass string, g *graph.Graph) {
+			if *dumpAfter != "all" && *dumpAfter != pass {
+				return
+			}
+			fmt.Fprintf(stdout, "== after %s ==\n", pass)
+			fmt.Fprint(stdout, g.String())
+			dumped = true
+		}
+	}
 	u, err := core.Compile(src, opts)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	printed := false
+	printed = dumped
+	if *stats {
+		fmt.Fprintf(stdout, "passes (wall / cells / arcs):\n")
+		for _, s := range u.PassStats() {
+			fmt.Fprintf(stdout, "  %s\n", s)
+		}
+		printed = true
+	}
 	if *emit != "" {
 		inputs := map[string][]value.Value{}
 		for _, in := range u.Checked.Inputs {
 			inputs[in.Name] = progs.Synth(*fill, in.Len())
 		}
 		if err := u.Compiled.SetInputs(inputs); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		data, err := u.Compiled.Graph.Marshal()
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := os.WriteFile(*emit, data, 0o644); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("wrote %s (%d cells, inputs filled with %q data)\n",
+		fmt.Fprintf(stdout, "wrote %s (%d cells, inputs filled with %q data)\n",
 			*emit, u.Compiled.Graph.NumNodes(), *fill)
 		printed = true
 	}
 	if *flow {
-		fmt.Print(pipestruct.FlowDOT(u.Checked))
+		fmt.Fprint(stdout, pipestruct.FlowDOT(u.Checked))
 		printed = true
 	}
 	if *dot {
-		fmt.Print(u.Compiled.Graph.DOT("program"))
+		fmt.Fprint(stdout, u.Compiled.Graph.DOT("program"))
 		printed = true
 	}
 	if *list {
-		fmt.Print(u.Compiled.Graph.String())
+		fmt.Fprint(stdout, u.Compiled.Graph.String())
 		printed = true
 	}
 	if *report || !printed {
-		fmt.Print(u.Report())
+		fmt.Fprint(stdout, u.Report())
 	}
+	return 0
 }
 
-func readSource(args []string) (string, error) {
+func readSource(args []string, stdin io.Reader) (string, error) {
 	if len(args) > 1 {
 		return "", fmt.Errorf("dfc: expected at most one source file, got %d", len(args))
 	}
@@ -117,11 +163,6 @@ func readSource(args []string) (string, error) {
 		data, err := os.ReadFile(args[0])
 		return string(data), err
 	}
-	data, err := io.ReadAll(os.Stdin)
+	data, err := io.ReadAll(stdin)
 	return string(data), err
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

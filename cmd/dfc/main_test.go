@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runDFC invokes the CLI entry point with captured streams.
+func runDFC(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestGolden pins the deterministic CLI outputs (listings, dumps, reports,
+// DOT renderings) against golden files; regenerate with go test -update.
+func TestGolden(t *testing.T) {
+	src := filepath.Join("testdata", "addone.val")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"report", []string{"-report", src}},
+		{"list", []string{"-list", src}},
+		{"flow", []string{"-flow", src}},
+		{"dump-after-dedup", []string{"-passes", "dedup,balance", "-dump-after", "dedup", src}},
+		{"dump-after-all", []string{"-passes", "dedup,balance,expand-fifos", "-dump-after", "all", src}},
+		{"passes-empty", []string{"-passes", "", "-report", src}},
+		{"passes-naive", []string{"-passes", "balance-naive", "-report", src}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, errOut, code := runDFC(t, tc.args...)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errOut)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run go test -update): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out, want)
+			}
+		})
+	}
+}
+
+// TestStats checks the -stats table without pinning nondeterministic wall
+// times.
+func TestStats(t *testing.T) {
+	out, errOut, code := runDFC(t, "-stats", "-passes", "dedup,balance", filepath.Join("testdata", "addone.val"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "passes (wall / cells / arcs):") {
+		t.Errorf("missing stats header:\n%s", out)
+	}
+	for _, pass := range []string{"dedup", "balance"} {
+		if !strings.Contains(out, pass) {
+			t.Errorf("stats missing pass %q:\n%s", pass, out)
+		}
+	}
+}
+
+// TestVerifyEach runs the verifier after every pass on a real program.
+func TestVerifyEach(t *testing.T) {
+	_, errOut, code := runDFC(t, "-verify-each", "-passes", "dedup,balance,expand-fifos", filepath.Join("testdata", "addone.val"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+// TestBadPass checks the unknown-pass diagnostic.
+func TestBadPass(t *testing.T) {
+	_, errOut, code := runDFC(t, "-passes", "no-such-pass", filepath.Join("testdata", "addone.val"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "unknown pass") {
+		t.Errorf("stderr missing diagnostic: %s", errOut)
+	}
+}
+
+// TestParseError checks that source errors carry line:column positions.
+func TestParseError(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "bad.val")
+	if err := os.WriteFile(f, []byte("input C : array[real] [1, 8];\noutput ;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runDFC(t, f)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "2:") {
+		t.Errorf("stderr missing source position: %s", errOut)
+	}
+}

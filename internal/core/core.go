@@ -12,7 +12,9 @@ import (
 	"staticpipe/internal/exec"
 	"staticpipe/internal/forall"
 	"staticpipe/internal/foriter"
+	"staticpipe/internal/graph"
 	"staticpipe/internal/mcm"
+	"staticpipe/internal/passes"
 	"staticpipe/internal/pe"
 	"staticpipe/internal/pipestruct"
 	"staticpipe/internal/trace"
@@ -42,6 +44,19 @@ type Options struct {
 	// ArmSlack pads data-dependent conditional arms with elasticity FIFOs
 	// of this many stages (see pe.Options.ArmSlack).
 	ArmSlack int
+	// Passes, when non-empty, is an explicit comma-separated compilation
+	// pass list (e.g. "dedup,balance"; see passes.Names for the registry)
+	// run over the assembled instruction graph. It overrides the
+	// NoBalance/NaiveBalance/Dedup strategy booleans above, which remain as
+	// the legacy interface and translate to the equivalent pass list.
+	Passes string
+	// VerifyEach runs the IR verifier (graph.Verify and, once balanced, the
+	// §3 equal-path-length check) after every compilation pass.
+	VerifyEach bool
+	// Snapshot, if non-nil, receives the instruction graph after every
+	// compilation pass. The graph is live; hooks must render what they need
+	// synchronously.
+	Snapshot func(pass string, g *graph.Graph)
 	// MaxCycles bounds simulation runs (0 = exec.DefaultMaxCycles).
 	MaxCycles int
 	// Tracer, if non-nil, receives the observability event stream of every
@@ -68,19 +83,45 @@ func Compile(src string, opts Options) (*Unit, error) {
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := pipestruct.Compile(checked, pipestruct.Options{
+	popts := pipestruct.Options{
 		ForallScheme:  opts.ForallScheme,
 		ForIterScheme: opts.ForIterScheme,
 		PE:            pe.Options{LiteralControl: opts.LiteralControl, ArmSlack: opts.ArmSlack},
 		NoBalance:     opts.NoBalance,
 		NaiveBalance:  opts.NaiveBalance,
 		Dedup:         opts.Dedup,
-	})
+		VerifyEach:    opts.VerifyEach,
+		Snapshot:      opts.Snapshot,
+	}
+	if opts.Passes != "" {
+		pl, err := passes.Parse(opts.Passes)
+		if err != nil {
+			return nil, err
+		}
+		if pl == nil {
+			pl = []passes.Pass{} // explicit empty pipeline, not legacy fallback
+		}
+		popts.Passes = pl
+	}
+	compiled, err := pipestruct.Compile(checked, popts)
 	if err != nil {
 		return nil, err
 	}
+	if m, ok := opts.Tracer.(*trace.Metrics); ok && m != nil {
+		for _, s := range compiled.PassStats {
+			m.RecordPhase(trace.PhaseStat{
+				Name: s.Name, Wall: s.Wall,
+				CellsBefore: s.CellsBefore, CellsAfter: s.CellsAfter,
+				ArcsBefore: s.ArcsBefore, ArcsAfter: s.ArcsAfter,
+			})
+		}
+	}
 	return &Unit{Source: src, Checked: checked, Compiled: compiled, opts: opts}, nil
 }
+
+// PassStats returns the per-pass compilation statistics (name, wall time,
+// graph sizes) in pipeline order.
+func (u *Unit) PassStats() []passes.Stat { return u.Compiled.PassStats }
 
 // RunResult holds a machine-level run's outcome.
 type RunResult struct {
@@ -151,6 +192,13 @@ func (u *Unit) Report() string {
 	}
 	sort.Strings(ops)
 	fmt.Fprintf(&b, "by op: %s\n", strings.Join(ops, " "))
+	if n := len(u.Compiled.PassStats); n > 0 {
+		names := make([]string, 0, n)
+		for _, s := range u.Compiled.PassStats {
+			names = append(names, s.Name)
+		}
+		fmt.Fprintf(&b, "passes: %s\n", strings.Join(names, " -> "))
+	}
 	if u.Compiled.Deduped > 0 {
 		fmt.Fprintf(&b, "dedup: %d duplicate cells removed\n", u.Compiled.Deduped)
 	}

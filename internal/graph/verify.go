@@ -1,0 +1,320 @@
+package graph
+
+import "fmt"
+
+// Verify performs the deep structural checks the pass manager runs between
+// compilation passes. It subsumes Validate (port arity, bound operands,
+// consumed results) and additionally checks the invariants that individual
+// graph transformations are most likely to break:
+//
+//   - arc-table consistency: every arc registered in the graph is linked
+//     from its producer's destination list and into its consumer's operand
+//     port, and vice versa. A dangling arc would break the acknowledge
+//     discipline — the reverse ack path of an arc is implicit in the
+//     forward path, so an arc only half-registered at either endpoint has
+//     no route for its acknowledge packet.
+//   - acyclicity outside declared feedback: every directed cycle must
+//     traverse at least one arc marked Feedback. Balancing and rate
+//     analysis treat the non-feedback subgraph as a DAG; an undeclared
+//     cycle silently breaks both.
+//   - liveness of declared cycles: every strongly-connected component
+//     must have a way to fire its first cell — either an initial token
+//     (Arc.Init) on an internal arc (the marked cycles of the companion
+//     scheme and the control-generator loops), or a MERGE cell whose
+//     control and at least one data port are fed from outside the
+//     component (Todd's scheme, where the first control value steers the
+//     externally supplied initial value into the loop). A component with
+//     neither can never fire any of its cells — the graph would deadlock
+//     at start-up.
+//
+// Verify is O(cells + arcs) and allocates only bookkeeping slices; it is
+// cheap enough to run after every pass in -verify-each mode.
+func (g *Graph) Verify() error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if err := g.verifyArcTable(); err != nil {
+		return err
+	}
+	if err := g.acyclicExcluding(func(a *Arc) bool { return a.Feedback },
+		"directed cycle with no feedback arc (undeclared feedback)"); err != nil {
+		return err
+	}
+	if err := g.verifyCycleTokens(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// verifyCycleTokens checks that every strongly-connected component has a
+// start-up mechanism: an internal arc with an initial token, or a MERGE
+// cell steered and seeded from outside the component.
+func (g *Graph) verifyCycleTokens() error {
+	comp := g.sccs()
+	internalArcs := map[int]bool{} // component id -> has internal arc
+	live := map[int]bool{}         // component id -> has a start-up mechanism
+	for _, a := range g.arcs {
+		if comp[a.From] != comp[a.To] {
+			continue
+		}
+		c := comp[a.From]
+		internalArcs[c] = true
+		if a.Init != nil {
+			live[c] = true
+		}
+	}
+	fedExternally := func(n *Node, p int) bool {
+		in := n.In[p]
+		if in.Literal != nil {
+			return true
+		}
+		return in.Arc != nil && comp[in.Arc.From] != comp[n.ID]
+	}
+	for _, n := range g.nodes {
+		if n.Op != OpMerge || live[comp[n.ID]] {
+			continue
+		}
+		if fedExternally(n, 0) && (fedExternally(n, 1) || fedExternally(n, 2)) {
+			live[comp[n.ID]] = true
+		}
+	}
+	for c := range internalArcs {
+		if !live[c] {
+			for _, n := range g.nodes {
+				if comp[n.ID] == c {
+					return fmt.Errorf("graph: cycle through %s carries no initial token and no externally seeded MERGE (would deadlock)", n.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sccs returns a strongly-connected-component id per node (iterative
+// Tarjan, safe for graphs deeper than the goroutine stack would like).
+func (g *Graph) sccs() []int {
+	n := len(g.nodes)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []NodeID
+	next := 0
+	ncomp := 0
+
+	type frame struct {
+		id  NodeID
+		arc int // next out-arc index to explore
+	}
+	for _, start := range g.nodes {
+		if index[start.ID] != unvisited {
+			continue
+		}
+		frames := []frame{{id: start.ID}}
+		index[start.ID] = next
+		low[start.ID] = next
+		next++
+		stack = append(stack, start.ID)
+		onStack[start.ID] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			nd := g.nodes[f.id]
+			if f.arc < len(nd.Out) {
+				w := nd.Out[f.arc].To
+				f.arc++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{id: w})
+				} else if onStack[w] {
+					if index[w] < low[f.id] {
+						low[f.id] = index[w]
+					}
+				}
+				continue
+			}
+			// Retreat: pop the frame, fold low into the parent, close SCCs.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].id
+				if low[f.id] < low[p] {
+					low[p] = low[f.id]
+				}
+			}
+			if low[f.id] == index[f.id] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == f.id {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}
+
+// verifyArcTable cross-checks the three views of every arc: the graph's arc
+// table, the producer's Out list, and the consumer's In port.
+func (g *Graph) verifyArcTable() error {
+	n := len(g.nodes)
+	for i, a := range g.arcs {
+		if a == nil {
+			return fmt.Errorf("graph: arc table entry %d is nil", i)
+		}
+		if a.ID != i {
+			return fmt.Errorf("graph: arc table entry %d has ID %d", i, a.ID)
+		}
+		if int(a.From) < 0 || int(a.From) >= n {
+			return fmt.Errorf("graph: arc %d has dangling producer node %d", a.ID, a.From)
+		}
+		if int(a.To) < 0 || int(a.To) >= n {
+			return fmt.Errorf("graph: arc %d from %s has dangling destination node %d",
+				a.ID, g.nodes[a.From].Name(), a.To)
+		}
+		to := g.nodes[a.To]
+		if a.ToPort < 0 || a.ToPort >= len(to.In) {
+			return fmt.Errorf("graph: arc %d targets missing port %d of %s", a.ID, a.ToPort, to.Name())
+		}
+		if to.In[a.ToPort].Arc != a {
+			return fmt.Errorf("graph: arc %d -> %s port %d is not the arc that port is fed by",
+				a.ID, to.Name(), a.ToPort)
+		}
+		found := false
+		for _, oa := range g.nodes[a.From].Out {
+			if oa == a {
+				if found {
+					return fmt.Errorf("graph: arc %d listed twice by producer %s", a.ID, g.nodes[a.From].Name())
+				}
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("graph: arc %d missing from producer %s destination list (dangling ack path)",
+				a.ID, g.nodes[a.From].Name())
+		}
+	}
+	for _, nd := range g.nodes {
+		for _, a := range nd.Out {
+			if a.From != nd.ID {
+				return fmt.Errorf("graph: %s lists arc %d which names producer %d", nd.Name(), a.ID, a.From)
+			}
+			if a.ID < 0 || a.ID >= len(g.arcs) || g.arcs[a.ID] != a {
+				return fmt.Errorf("graph: %s lists arc %d not in the arc table", nd.Name(), a.ID)
+			}
+		}
+		for p, in := range nd.In {
+			a := in.Arc
+			if a == nil {
+				continue
+			}
+			if a.ID < 0 || a.ID >= len(g.arcs) || g.arcs[a.ID] != a {
+				return fmt.Errorf("graph: %s port %d fed by arc %d not in the arc table", nd.Name(), p, a.ID)
+			}
+			if a.To != nd.ID || a.ToPort != p {
+				return fmt.Errorf("graph: %s port %d fed by arc %d which targets node %d port %d",
+					nd.Name(), p, a.ID, a.To, a.ToPort)
+			}
+		}
+	}
+	return nil
+}
+
+// acyclicExcluding checks that the subgraph of arcs NOT matched by skip is
+// acyclic (Kahn peeling); msg names the violated invariant.
+func (g *Graph) acyclicExcluding(skip func(*Arc) bool, msg string) error {
+	indeg := make([]int, len(g.nodes))
+	for _, a := range g.arcs {
+		if !skip(a) {
+			indeg[a.To]++
+		}
+	}
+	queue := make([]NodeID, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		if indeg[n.ID] == 0 {
+			queue = append(queue, n.ID)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, a := range g.nodes[id].Out {
+			if skip(a) {
+				continue
+			}
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	if seen != len(g.nodes) {
+		// Name one offending cell for the diagnostic: any cell left with
+		// positive in-degree lies on (or downstream of) such a cycle.
+		for _, n := range g.nodes {
+			if indeg[n.ID] > 0 {
+				return fmt.Errorf("graph: %s (at %s)", msg, n.Name())
+			}
+		}
+		return fmt.Errorf("graph: %s", msg)
+	}
+	return nil
+}
+
+// OnCycle marks every node that lies on a directed cycle, indexed by
+// NodeID. It peels nodes with zero in- or out-degree until a fixpoint; the
+// residue is exactly the union of the graph's cycles. Shared by the
+// verifier, common-cell elimination (cycle cells are never merged), and the
+// arm-slack pass (feedback merges are never padded).
+func (g *Graph) OnCycle() []bool {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	outdeg := make([]int, n)
+	for _, a := range g.arcs {
+		indeg[a.To]++
+		outdeg[a.From]++
+	}
+	removed := make([]bool, n)
+	changed := true
+	for changed {
+		changed = false
+		for _, nd := range g.nodes {
+			if removed[nd.ID] {
+				continue
+			}
+			if indeg[nd.ID] == 0 || outdeg[nd.ID] == 0 {
+				removed[nd.ID] = true
+				changed = true
+				for _, a := range nd.Out {
+					if !removed[a.To] {
+						indeg[a.To]--
+					}
+				}
+				for _, in := range nd.In {
+					if in.Arc != nil && !removed[in.Arc.From] {
+						outdeg[in.Arc.From]--
+					}
+				}
+			}
+		}
+	}
+	onCycle := make([]bool, n)
+	for i := range onCycle {
+		onCycle[i] = !removed[i]
+	}
+	return onCycle
+}

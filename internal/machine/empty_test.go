@@ -1,0 +1,40 @@
+package machine
+
+import (
+	"testing"
+
+	"staticpipe/internal/graph"
+	"staticpipe/internal/value"
+)
+
+// TestEmptyInputStream checks the degenerate zero-length run at the packet
+// level: an empty input stream must drain cleanly with empty outputs.
+func TestEmptyInputStream(t *testing.T) {
+	g := graph.New()
+	src := g.AddSource("A", []value.Value{})
+	add := g.Add(graph.OpAdd, "add")
+	g.Connect(src, add, 0)
+	g.SetLiteral(add, 1, value.R(1))
+	g.Connect(add, g.AddSink("out"), 0)
+	res, err := Run(g, Config{PEs: 2, AMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Error("empty-stream run did not drain cleanly")
+	}
+	if out := res.Output("out"); len(out) != 0 {
+		t.Errorf("empty input produced %d outputs: %v", len(out), out)
+	}
+}
+
+// TestEmptyGraph checks that the machine accepts a graph with no cells.
+func TestEmptyGraph(t *testing.T) {
+	res, err := Run(graph.New(), Config{PEs: 2, AMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Error("empty graph did not drain cleanly")
+	}
+}

@@ -19,9 +19,13 @@
 // consumed both by a free-running forall region and by a for-iter loop
 // whose fill transient briefly stalls its consumers — couples those
 // regions through the shared cell's acknowledge discipline and can cost a
-// fraction of the maximum rate. Results are always unchanged; only timing
-// can degrade. The pass is therefore opt-in (Options.Dedup), matching the
-// paper's default of one generator per gate.
+// fraction of the maximum rate. On a balanced graph results and drainage
+// are unchanged; on an UNBALANCED graph the coupling can stall the
+// pipeline entirely (found by the differential pass harness: the values
+// produced are still a correct prefix, but the run may not drain), so
+// dedup should be followed by a balancing pass unless stalls are
+// acceptable. The pass is opt-in (Options.Dedup), matching the paper's
+// default of one generator per gate.
 package opt
 
 import (
@@ -36,7 +40,7 @@ import (
 // modified.
 func Dedup(g *graph.Graph) (*graph.Graph, int) {
 	n := g.NumNodes()
-	inCycle := cycleNodes(g)
+	inCycle := g.OnCycle()
 
 	// rep maps every old node to its representative old node.
 	rep := make([]graph.NodeID, n)
@@ -148,49 +152,6 @@ func nodeKey(g *graph.Graph, n *graph.Node, rep []graph.NodeID) string {
 		}
 	}
 	return b.String()
-}
-
-// cycleNodes marks every node on a directed cycle (Tarjan-free: repeated
-// reachability shrink — fine at compiler scales).
-func cycleNodes(g *graph.Graph) []bool {
-	n := g.NumNodes()
-	// Kahn peeling: repeatedly remove nodes with zero in-degree or zero
-	// out-degree; what remains is exactly the union of cycles.
-	indeg := make([]int, n)
-	outdeg := make([]int, n)
-	for _, a := range g.Arcs() {
-		indeg[a.To]++
-		outdeg[a.From]++
-	}
-	removedNode := make([]bool, n)
-	changed := true
-	for changed {
-		changed = false
-		for _, nd := range g.Nodes() {
-			if removedNode[nd.ID] {
-				continue
-			}
-			if indeg[nd.ID] == 0 || outdeg[nd.ID] == 0 {
-				removedNode[nd.ID] = true
-				changed = true
-				for _, a := range nd.Out {
-					if !removedNode[a.To] {
-						indeg[a.To]--
-					}
-				}
-				for _, in := range nd.In {
-					if in.Arc != nil && !removedNode[in.Arc.From] {
-						outdeg[in.Arc.From]--
-					}
-				}
-			}
-		}
-	}
-	inCycle := make([]bool, n)
-	for i := range inCycle {
-		inCycle[i] = !removedNode[i]
-	}
-	return inCycle
 }
 
 // topoOrder returns node ids with every acyclic predecessor before its

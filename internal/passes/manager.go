@@ -1,0 +1,109 @@
+package passes
+
+import (
+	"fmt"
+	"time"
+
+	"staticpipe/internal/balance"
+	"staticpipe/internal/graph"
+)
+
+// Pass is one graph-to-graph compilation stage. Run may mutate g in place
+// and return it, or build and return a replacement graph (node IDs are
+// then not stable across the pass — downstream consumers re-resolve cells
+// by label). Returning an error aborts the pipeline.
+type Pass interface {
+	Name() string
+	Run(g *graph.Graph, ctx *Context) (*graph.Graph, error)
+}
+
+// Context carries cross-pass state through one Manager.Run: configuration
+// (verification, snapshot hook), accumulated statistics, and the artifacts
+// individual passes record for compile reports.
+type Context struct {
+	// VerifyEach runs graph.Verify after every pass — and, once a
+	// balancing pass has set Balanced, balance.CheckBalanced too — turning
+	// a pass that corrupts the IR into an immediate positioned error
+	// instead of a downstream miscompile.
+	VerifyEach bool
+	// Snapshot, if non-nil, is called with the IR after every pass. The
+	// graph is live — later passes may mutate it — so hooks must render or
+	// copy what they need synchronously.
+	Snapshot func(pass string, g *graph.Graph)
+
+	// Stats records one entry per executed pass, in order.
+	Stats []Stat
+
+	// Balanced reports that a balancing pass has run and no later pass has
+	// invalidated its equal-path-length property.
+	Balanced bool
+	// Plan is the balancing plan applied by the most recent balance pass.
+	Plan *balance.Plan
+	// Deduped accumulates cells removed by common-cell elimination.
+	Deduped int
+}
+
+// Stat is one pass execution record.
+type Stat struct {
+	// Name is the pass name (registry name, e.g. "balance").
+	Name string
+	// Wall is the pass's wall-clock duration.
+	Wall time.Duration
+	// CellsBefore/After and ArcsBefore/After are graph sizes around the
+	// pass.
+	CellsBefore, CellsAfter int
+	ArcsBefore, ArcsAfter   int
+}
+
+// String renders the stat as one report line.
+func (s Stat) String() string {
+	return fmt.Sprintf("%-15s %10v  cells %5d -> %-5d arcs %5d -> %-5d",
+		s.Name, s.Wall.Round(time.Microsecond), s.CellsBefore, s.CellsAfter, s.ArcsBefore, s.ArcsAfter)
+}
+
+// Manager runs a pass list.
+type Manager struct {
+	Passes []Pass
+}
+
+// NewManager returns a manager over the given passes.
+func NewManager(ps ...Pass) *Manager { return &Manager{Passes: ps} }
+
+// Run executes the pass list over g, threading the context through every
+// pass. A nil ctx runs with defaults (no verification, no snapshots). The
+// input graph must already be structurally valid; with ctx.VerifyEach the
+// manager checks that each pass keeps it that way.
+func (m *Manager) Run(g *graph.Graph, ctx *Context) (*graph.Graph, error) {
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	for _, p := range m.Passes {
+		stat := Stat{Name: p.Name(), CellsBefore: g.NumNodes(), ArcsBefore: g.NumArcs()}
+		start := time.Now()
+		ng, err := p.Run(g, ctx)
+		stat.Wall = time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("passes: %s: %w", p.Name(), err)
+		}
+		if ng != nil {
+			g = ng
+		}
+		stat.CellsAfter = g.NumNodes()
+		stat.ArcsAfter = g.NumArcs()
+		ctx.Stats = append(ctx.Stats, stat)
+		if ctx.Snapshot != nil {
+			ctx.Snapshot(p.Name(), g)
+		}
+		if ctx.VerifyEach {
+			if err := g.Verify(); err != nil {
+				return nil, fmt.Errorf("passes: after %s: %w", p.Name(), err)
+			}
+			if ctx.Balanced {
+				if err := balance.CheckBalanced(g); err != nil {
+					return nil, fmt.Errorf("passes: after %s: %w", p.Name(), err)
+				}
+			}
+		}
+	}
+	return g, nil
+}

@@ -5,6 +5,15 @@ import (
 	"staticpipe/internal/graph"
 )
 
+// LiteralPattern builds a boolean control stream from literal instruction
+// cells in g and returns the cell producing it. It is the graph-level
+// entry point the literal-control compilation pass uses to expand
+// idealized generator cells (package passes); primitive-expression
+// compilation reaches the same construction through Options.LiteralControl.
+func LiteralPattern(g *graph.Graph, pattern []bool, label string) *graph.Node {
+	return literalPattern(g, pattern, label)
+}
+
 // literalIndexStream emits a contiguous index stream from literal
 // instruction cells (control.IndexStream's interleaved counters).
 func literalIndexStream(g *graph.Graph, idxs []int64) *graph.Node {

@@ -20,7 +20,7 @@ import (
 	"staticpipe/internal/forall"
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
-	"staticpipe/internal/opt"
+	"staticpipe/internal/passes"
 	"staticpipe/internal/pe"
 	"staticpipe/internal/val"
 	"staticpipe/internal/value"
@@ -35,6 +35,18 @@ type Options struct {
 	// PE configures primitive-expression compilation (control stream
 	// realization).
 	PE pe.Options
+	// Passes, when non-nil, is the explicit post-construction pass
+	// pipeline run over the assembled instruction graph (package passes).
+	// When nil, the pipeline is derived from the legacy strategy booleans
+	// below via passes.FromLegacy.
+	Passes []passes.Pass
+	// VerifyEach runs graph.Verify (and, once balanced, the §3
+	// equal-path-length check) after every pass.
+	VerifyEach bool
+	// Snapshot, if non-nil, receives the IR after every pass. The graph is
+	// live; hooks must render what they need synchronously.
+	Snapshot func(pass string, g *graph.Graph)
+
 	// NoBalance skips the balancing pass (for ablation experiments).
 	NoBalance bool
 	// NaiveBalance uses longest-path leveling instead of the optimal
@@ -68,10 +80,13 @@ type Result struct {
 	Outputs map[string]Range
 	// Blocks records per-block compilation metadata in program order.
 	Blocks []BlockMeta
-	// Plan is the applied balancing plan (nil when NoBalance).
+	// Plan is the applied balancing plan (nil when no balancing pass ran).
 	Plan *balance.Plan
 	// Deduped counts cells removed by common-cell elimination.
 	Deduped int
+	// PassStats records each executed compilation pass (name, wall time,
+	// graph sizes), in pipeline order.
+	PassStats []passes.Stat
 
 	inputLen map[string]int
 }
@@ -188,37 +203,36 @@ func Compile(c *val.Checked, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("pipestruct: %w", err)
 	}
 
-	if opts.Dedup {
-		deduped, removed := opt.Dedup(g)
-		// Re-resolve the input source cells by their (unique) labels.
-		byLabel := map[string]*graph.Node{}
-		for _, n := range deduped.Nodes() {
-			if n.Op == graph.OpSource {
-				byLabel[n.Label] = n
-			}
-		}
-		for name := range res.Inputs {
-			src, ok := byLabel[name]
-			if !ok {
-				return nil, fmt.Errorf("pipestruct: internal error: input %s lost in dedup", name)
-			}
-			res.Inputs[name] = src
-		}
-		g = deduped
-		res.Graph = g
-		res.Deduped = removed
-		if err := g.Validate(); err != nil {
-			return nil, fmt.Errorf("pipestruct: after dedup: %w", err)
+	// Post-construction compilation runs as an explicit pass pipeline; the
+	// legacy strategy booleans translate to the equivalent pass list.
+	pl := opts.Passes
+	if pl == nil {
+		pl = passes.FromLegacy(opts.Dedup, opts.NoBalance, opts.NaiveBalance)
+	}
+	ctx := &passes.Context{VerifyEach: opts.VerifyEach, Snapshot: opts.Snapshot}
+	g, err := passes.NewManager(pl...).Run(g, ctx)
+	if err != nil {
+		return nil, fmt.Errorf("pipestruct: %w", err)
+	}
+	res.Graph = g
+	res.Plan = ctx.Plan
+	res.Deduped = ctx.Deduped
+	res.PassStats = ctx.Stats
+
+	// Graph-rebuilding passes invalidate node identity; re-resolve the
+	// input source cells by their (unique) labels.
+	byLabel := map[string]*graph.Node{}
+	for _, n := range g.Nodes() {
+		if n.Op == graph.OpSource {
+			byLabel[n.Label] = n
 		}
 	}
-
-	if !opts.NoBalance {
-		plan, err := balance.PlanGraph(g, !opts.NaiveBalance)
-		if err != nil {
-			return nil, fmt.Errorf("pipestruct: balancing: %w", err)
+	for name := range res.Inputs {
+		src, ok := byLabel[name]
+		if !ok {
+			return nil, fmt.Errorf("pipestruct: internal error: input %s lost in pass pipeline", name)
 		}
-		balance.Apply(g, plan)
-		res.Plan = plan
+		res.Inputs[name] = src
 	}
 	return res, nil
 }

@@ -4,7 +4,18 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
+
+// PhaseStat records one compilation phase (a compiler pass or other
+// compile-time stage) for observability reports: wall time and graph size
+// around the phase. It mirrors passes.Stat without importing the compiler.
+type PhaseStat struct {
+	Name                    string
+	Wall                    time.Duration
+	CellsBefore, CellsAfter int
+	ArcsBefore, ArcsAfter   int
+}
 
 // CellMetrics aggregates one instruction cell's observed behaviour.
 type CellMetrics struct {
@@ -56,13 +67,21 @@ type UnitMetrics struct {
 // Metrics is the per-cell/per-unit aggregating sink. It holds O(cells +
 // endpoints) state regardless of run length.
 type Metrics struct {
-	meta      Meta
-	Cells     []CellMetrics
-	Units     []UnitMetrics
-	Packets   [NumPacketKinds]int64 // sends by packet kind
-	Events    int64
+	meta    Meta
+	Cells   []CellMetrics
+	Units   []UnitMetrics
+	Packets [NumPacketKinds]int64 // sends by packet kind
+	Events  int64
+	// Phases records compile-time phase statistics (see RecordPhase);
+	// compilation happens before any run events arrive.
+	Phases    []PhaseStat
 	lastCycle int64
 }
+
+// RecordPhase appends one compile-phase record. Compilers call this once
+// per executed pass so compile-time cost shows up next to run-time
+// behaviour in the same observability sink.
+func (m *Metrics) RecordPhase(p PhaseStat) { m.Phases = append(m.Phases, p) }
 
 // NewMetrics returns an empty aggregator.
 func NewMetrics() *Metrics { return &Metrics{lastCycle: -1} }
@@ -197,6 +216,14 @@ func (m *Metrics) MeanTransit(unit int) float64 {
 // counts, the busiest units, and the most-stalled cells.
 func (m *Metrics) Summary(top int) string {
 	var b strings.Builder
+	if len(m.Phases) > 0 {
+		fmt.Fprintf(&b, "compile phases (wall / cells / arcs):\n")
+		for _, p := range m.Phases {
+			fmt.Fprintf(&b, "  %-15s %10v  cells %5d -> %-5d arcs %5d -> %-5d\n",
+				p.Name, p.Wall.Round(time.Microsecond),
+				p.CellsBefore, p.CellsAfter, p.ArcsBefore, p.ArcsAfter)
+		}
+	}
 	fmt.Fprintf(&b, "observed %d events over %d cycles\n", m.Events, m.Cycles())
 	if total := m.Packets[PacketResult] + m.Packets[PacketAck] + m.Packets[PacketOp]; total > 0 {
 		fmt.Fprintf(&b, "packets: %d result, %d ack, %d operation\n",

@@ -379,6 +379,9 @@ type Decl struct {
 // Program is a parsed pipe-structured Val program.
 type Program struct {
 	Decls []Decl
+	// Src is the source text the program was parsed from ("" when the AST
+	// was built programmatically); checker diagnostics use it for excerpts.
+	Src string
 }
 
 // String renders the program in Val syntax.

@@ -64,9 +64,10 @@ func (c *Checked) Block(name string) (BlockInfo, bool) {
 	return c.Blocks[i], true
 }
 
-// errf formats a positioned type error.
+// errf formats a positioned type error; Check attaches the source text for
+// the excerpt on the way out.
 func errf(p Pos, format string, args ...any) error {
-	return fmt.Errorf("val: %s: %s", p, fmt.Sprintf(format, args...))
+	return &Error{P: p, Msg: fmt.Sprintf(format, args...)}
 }
 
 // EvalConst evaluates a compile-time constant integer expression over the
@@ -149,6 +150,14 @@ func (ck *checker) lookup(name string) (Type, bool) {
 
 // Check type-checks a parsed program and returns its checked form.
 func Check(prog *Program) (*Checked, error) {
+	c, err := check(prog)
+	if err != nil {
+		return nil, attachSrc(err, prog.Src)
+	}
+	return c, nil
+}
+
+func check(prog *Program) (*Checked, error) {
 	c := &Checked{
 		Prog:     prog,
 		Params:   map[string]int64{},
@@ -250,7 +259,11 @@ func Check(prog *Program) (*Checked, error) {
 		}
 	}
 	if len(c.Outputs) == 0 {
-		return nil, fmt.Errorf("val: program declares no outputs")
+		p := Pos{Line: 1, Col: 1}
+		if n := len(prog.Decls); n > 0 {
+			p = prog.Decls[n-1].P
+		}
+		return nil, errf(p, "program declares no outputs")
 	}
 	return c, nil
 }
@@ -507,11 +520,16 @@ func (ck *checker) exprInner(e Expr) (Type, error) {
 		return t, nil
 
 	case *Forall:
-		if _, err := EvalConst(x.Lo, ck.c.Params); err != nil {
+		lo, err := EvalConst(x.Lo, ck.c.Params)
+		if err != nil {
 			return Type{}, err
 		}
-		if _, err := EvalConst(x.Hi, ck.c.Params); err != nil {
+		hi, err := EvalConst(x.Hi, ck.c.Params)
+		if err != nil {
 			return Type{}, err
+		}
+		if hi < lo {
+			return Type{}, errf(x.Pos(), "forall %s has empty index range [%d, %d]", x.IndexVar, lo, hi)
 		}
 		ck.push()
 		defer ck.pop()
@@ -519,11 +537,16 @@ func (ck *checker) exprInner(e Expr) (Type, error) {
 			return Type{}, err
 		}
 		if x.TwoD() {
-			if _, err := EvalConst(x.Lo2, ck.c.Params); err != nil {
+			lo2, err := EvalConst(x.Lo2, ck.c.Params)
+			if err != nil {
 				return Type{}, err
 			}
-			if _, err := EvalConst(x.Hi2, ck.c.Params); err != nil {
+			hi2, err := EvalConst(x.Hi2, ck.c.Params)
+			if err != nil {
 				return Type{}, err
+			}
+			if hi2 < lo2 {
+				return Type{}, errf(x.Pos(), "forall %s has empty index range [%d, %d]", x.IndexVar2, lo2, hi2)
 			}
 			if err := ck.bind(x.Pos(), x.IndexVar2, Scalar(KindInt)); err != nil {
 				return Type{}, err

@@ -118,7 +118,7 @@ func (lx *Lexer) Next() (Token, error) {
 				b.WriteByte(lx.advance())
 			}
 			if !isDigit(lx.peek()) {
-				return Token{}, fmt.Errorf("%s: malformed exponent in numeric literal", lx.pos())
+				return Token{}, &Error{P: lx.pos(), Msg: "malformed exponent in numeric literal", Src: lx.src}
 			}
 			for lx.off < len(lx.src) && isDigit(lx.peek()) {
 				b.WriteByte(lx.advance())
@@ -139,6 +139,6 @@ func (lx *Lexer) Next() (Token, error) {
 			lx.advance()
 			return Token{Kind: TokPunct, Text: string(c), Pos: start}, nil
 		}
-		return Token{}, fmt.Errorf("%s: unexpected character %q", start, string(c))
+		return Token{}, &Error{P: start, Msg: fmt.Sprintf("unexpected character %q", string(c)), Src: lx.src}
 	}
 }

@@ -9,6 +9,7 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+	src  string
 }
 
 // Parse parses a complete pipe-structured program.
@@ -17,8 +18,8 @@ func Parse(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{toks: toks}
-	prog := &Program{}
+	p := &Parser{toks: toks, src: src}
+	prog := &Program{Src: src}
 	for !p.at(TokEOF, "") {
 		d, err := p.decl()
 		if err != nil {
@@ -27,7 +28,7 @@ func Parse(src string) (*Program, error) {
 		prog.Decls = append(prog.Decls, d)
 	}
 	if len(prog.Decls) == 0 {
-		return nil, fmt.Errorf("val: empty program")
+		return nil, &Error{P: Pos{Line: 1, Col: 1}, Msg: "empty program", Src: src}
 	}
 	return prog, nil
 }
@@ -39,7 +40,7 @@ func ParseExpr(src string) (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{toks: toks}
+	p := &Parser{toks: toks, src: src}
 	e, err := p.expr()
 	if err != nil {
 		return nil, err
@@ -78,7 +79,7 @@ func (p *Parser) expect(kind TokKind, text string) (Token, error) {
 }
 
 func (p *Parser) errf(format string, args ...any) error {
-	return fmt.Errorf("val: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+	return &Error{P: p.cur().Pos, Msg: fmt.Sprintf(format, args...), Src: p.src}
 }
 
 // decl parses one top-level declaration.

@@ -22,4 +22,12 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== differential pass quick-check =="
+go test -run 'TestDifferential' ./internal/core/
+
+echo "== bounded fuzz =="
+go test -run '^$' -fuzz 'FuzzParse$'     -fuzztime 10s ./internal/val/
+go test -run '^$' -fuzz 'FuzzParseExpr$' -fuzztime 10s ./internal/val/
+go test -run '^$' -fuzz 'FuzzUnmarshal$' -fuzztime 10s ./internal/graph/
+
 echo "CI OK"

@@ -14,6 +14,11 @@
 //	res, err := u.Run(map[string][]staticpipe.Value{"C": staticpipe.Reals(data)})
 //	fmt.Println(res.Outputs["A"], res.II("A")) // II == 2: fully pipelined
 //
+// Compilation is organized as an explicit pipeline of graph passes
+// (common-cell elimination, balancing, control-generator expansion, …);
+// Options.Passes selects them by name and docs/COMPILER.md documents the
+// pipeline, the per-pass verifier, and the differential test harness.
+//
 // The Val subset, the compilation schemes (selection gating, Todd's
 // for-iter scheme, the companion-function pipeline), and the balancing
 // algorithms (including the min-cost-flow optimum of §8) are documented in
@@ -28,6 +33,7 @@ import (
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/machine"
 	"staticpipe/internal/mcm"
+	"staticpipe/internal/passes"
 	"staticpipe/internal/value"
 )
 
@@ -45,8 +51,18 @@ func Floats(vs []Value) []float64 { return value.Floats(vs) }
 
 // Options selects compilation strategies; the zero value is the paper's
 // recommended configuration (pipeline foralls, companion-scheme for-iters,
-// optimal balancing).
+// optimal balancing). Compilation runs as an explicit pass pipeline:
+// Options.Passes names the passes to run (see PassNames), while the legacy
+// strategy booleans translate to the equivalent pass list.
 type Options = core.Options
+
+// PassStat is one compilation pass's execution record (name, wall time,
+// graph sizes before and after).
+type PassStat = passes.Stat
+
+// PassNames returns the registered compilation pass names in canonical
+// pipeline order, for use in Options.Passes.
+func PassNames() []string { return passes.Names() }
 
 // Scheme selectors re-exported for Options.
 const (

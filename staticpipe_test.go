@@ -87,6 +87,40 @@ func TestFacadeSchemeConstants(t *testing.T) {
 	}
 }
 
+// TestFacadeEmptyInputs checks the degenerate zero-length binding through
+// the public API: a clean length error, not a hang or panic.
+func TestFacadeEmptyInputs(t *testing.T) {
+	src, _ := example1Program(12)
+	u, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Run(map[string][]Value{"C": {}}); err == nil {
+		t.Error("zero-length input stream accepted")
+	}
+}
+
+// TestFacadePassOptions drives an explicit pass list with per-pass
+// verification through the public API.
+func TestFacadePassOptions(t *testing.T) {
+	names := PassNames()
+	if len(names) < 5 {
+		t.Fatalf("pass registry too small: %v", names)
+	}
+	src, inputs := example1Program(12)
+	u, err := Compile(src, Options{Passes: "dedup,balance", VerifyEach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []PassStat = u.PassStats()
+	if len(stats) != 2 || stats[0].Name != "dedup" || stats[1].Name != "balance" {
+		t.Fatalf("pass stats = %v", stats)
+	}
+	if err := u.Validate(inputs, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFacadeValueHelpers(t *testing.T) {
 	vs := Ints([]int64{1, 2})
 	if vs[1].AsInt() != 2 {
