@@ -6,11 +6,17 @@
 //
 // Usage:
 //
-//	dfbench [-quick] [-only E7] [-json BENCH_run.json] [-metrics] [-trace PREFIX]
+//	dfbench [-quick] [-only E7] [-json BENCH_run.json] [-compare BENCH_baseline.json]
+//	        [-parallel N] [-metrics] [-trace PREFIX]
 //
 // -json captures every headline number as machine-readable records for the
-// perf trajectory; -metrics prints a per-cell digest after each simulated
-// run; -trace PREFIX writes one Chrome trace-event JSON file per run.
+// perf trajectory; -compare checks this run's cycles/sec records against a
+// committed baseline and exits nonzero on a >20% regression (skipping
+// gracefully when the baseline file does not exist); -parallel N runs N
+// independent benchmark instances across goroutines and reports aggregate
+// simulation throughput instead of the experiment table; -metrics prints a
+// per-cell digest after each simulated run; -trace PREFIX writes one Chrome
+// trace-event JSON file per run.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"staticpipe/internal/balance"
@@ -39,9 +46,14 @@ var (
 	quick    = flag.Bool("quick", false, "smaller problem sizes")
 	only     = flag.String("only", "", "run a single experiment, e.g. E7")
 	jsonOut  = flag.String("json", "", "write results as machine-readable JSON (e.g. BENCH_run.json)")
+	compareF = flag.String("compare", "", "compare cycles/sec against a baseline JSON; exit nonzero on >20% regression")
+	parallel = flag.Int("parallel", 0, "run N independent benchmark instances across goroutines and report throughput")
 	metricsF = flag.Bool("metrics", false, "print a per-cell metrics digest after each simulated run")
 	tracePfx = flag.String("trace", "", "write Chrome trace-event JSON per run to PREFIX-NNN-label.json")
 )
+
+// regressionTolerance is the cycles/sec drop -compare fails the build on.
+const regressionTolerance = 0.20
 
 // benchRecord is one headline number in -json output.
 type benchRecord struct {
@@ -53,13 +65,28 @@ type benchRecord struct {
 var (
 	records []benchRecord
 	curExp  string
+	// per-experiment simulation accounting for the cycles/sec records:
+	// simulated cycles and wall time spent inside simulator Run calls.
+	simCycles int
+	simWall   time.Duration
+	// suite-wide totals, recorded under exp TOTAL; the bench guard compares
+	// this aggregate because individual quick experiments finish in well
+	// under a millisecond and their rates are dominated by timer noise.
+	grandCycles int
+	grandWall   time.Duration
 )
 
 // record captures one headline number under the current experiment.
 func record(metric string, v float64) {
-	if *jsonOut != "" {
-		records = append(records, benchRecord{Exp: curExp, Metric: metric, Value: v})
-	}
+	records = append(records, benchRecord{Exp: curExp, Metric: metric, Value: v})
+}
+
+// addSim accounts one simulator run toward the experiment's cycles/sec.
+func addSim(cycles int, wall time.Duration) {
+	simCycles += cycles
+	simWall += wall
+	grandCycles += cycles
+	grandWall += wall
 }
 
 var traceSeq int
@@ -132,20 +159,35 @@ func main() {
 		{"E16", "ablations: control realization, network, placement", e16, 64, 24},
 		{"E17", "ablation: common-cell elimination", e17, 256, 64},
 	}
-	for _, e := range experiments {
-		if *only != "" && !strings.EqualFold(*only, e.id) {
-			continue
+	if *parallel > 0 {
+		runParallel(*parallel)
+	} else {
+		for _, e := range experiments {
+			if *only != "" && !strings.EqualFold(*only, e.id) {
+				continue
+			}
+			size := e.size
+			if *quick {
+				size = e.quickSize
+			}
+			curExp = e.id
+			simCycles, simWall = 0, 0
+			fmt.Printf("=== %s — %s ===\n", e.id, e.title)
+			start := time.Now()
+			e.run(size)
+			record("seconds", time.Since(start).Seconds())
+			if simWall > 0 {
+				record("cycles_per_sec", float64(simCycles)/simWall.Seconds())
+			}
+			fmt.Printf("(%.2fs)\n\n", time.Since(start).Seconds())
 		}
-		size := e.size
-		if *quick {
-			size = e.quickSize
+		if grandWall > 0 {
+			curExp = "TOTAL"
+			rate := float64(grandCycles) / grandWall.Seconds()
+			record("cycles_per_sec", rate)
+			fmt.Printf("total: %d simulated cycles in %.3fs of simulator time (%.0f cycles/sec)\n",
+				grandCycles, grandWall.Seconds(), rate)
 		}
-		curExp = e.id
-		fmt.Printf("=== %s — %s ===\n", e.id, e.title)
-		start := time.Now()
-		e.run(size)
-		record("seconds", time.Since(start).Seconds())
-		fmt.Printf("(%.2fs)\n\n", time.Since(start).Seconds())
 	}
 	if *jsonOut != "" {
 		out := struct {
@@ -162,6 +204,159 @@ func main() {
 		}
 		fmt.Printf("wrote %d records to %s\n", len(records), *jsonOut)
 	}
+	if *compareF != "" {
+		if !compareBaseline(*compareF) {
+			os.Exit(1)
+		}
+	}
+}
+
+// parallelWorkload is one independent benchmark instance for -parallel:
+// compile the Fig 3 composed program and run it on both simulator kernels.
+// Units are not safe for concurrent runs, so each instance compiles its
+// own. Returns the simulated cycles contributed.
+func parallelWorkload(n int) int {
+	p := progs.Fig3(n)
+	cycles := 0
+	u, err := core.Compile(p.Source, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := u.Run(p.Inputs)
+	if err != nil {
+		fatal(err)
+	}
+	cycles += res.Exec.Cycles
+	mu, err := core.Compile(p.Source, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if err := mu.Compiled.SetInputs(p.Inputs); err != nil {
+		fatal(err)
+	}
+	mres, err := machine.Run(mu.Compiled.Graph, machine.Config{PEs: 8, FUs: 4, AMs: 4})
+	if err != nil {
+		fatal(err)
+	}
+	return cycles + mres.Cycles
+}
+
+// runParallel fans N independent benchmark instances across goroutines and
+// reports per-instance and aggregate simulation throughput.
+func runParallel(n int) {
+	size := 1024
+	if *quick {
+		size = 128
+	}
+	curExp = "PAR"
+	fmt.Printf("=== parallel fan-out: %d independent instances (Fig 3, n=%d, exec+machine) ===\n", n, size)
+
+	start := time.Now()
+	c1 := parallelWorkload(size)
+	single := time.Since(start)
+	singleRate := float64(c1) / single.Seconds()
+	fmt.Printf("  single instance: %d cycles in %.3fs (%.0f cycles/sec)\n", c1, single.Seconds(), singleRate)
+
+	cycles := make([]int, n)
+	var wg sync.WaitGroup
+	start = time.Now()
+	for i := range cycles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cycles[i] = parallelWorkload(size)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	total := 0
+	for i, c := range cycles {
+		total += c
+		fmt.Printf("  instance %2d: %d cycles (%.0f cycles/sec amortized)\n", i, c, float64(c)/wall.Seconds())
+	}
+	aggRate := float64(total) / wall.Seconds()
+	fmt.Printf("  aggregate: %d cycles in %.3fs (%.0f cycles/sec, %.2fx single-instance rate)\n",
+		total, wall.Seconds(), aggRate, aggRate/singleRate)
+	record("cycles_per_sec_single", singleRate)
+	record("cycles_per_sec_aggregate", aggRate)
+	record("instances", float64(n))
+}
+
+// compareBaseline checks this run's cycles/sec records against a committed
+// baseline JSON, failing on a regression beyond the tolerance. Returns true
+// when the comparison passes (or is skipped because no baseline exists).
+func compareBaseline(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("no baseline at %s; skipping cycles/sec comparison\n", path)
+			return true
+		}
+		fatal(err)
+	}
+	var base struct {
+		Tool    string        `json:"tool"`
+		Quick   bool          `json:"quick"`
+		Results []benchRecord `json:"results"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bad baseline %s: %v\n", path, err)
+		return false
+	}
+	if base.Quick != *quick {
+		fmt.Printf("baseline %s was recorded with quick=%v, this run uses quick=%v; skipping comparison\n",
+			path, base.Quick, *quick)
+		return true
+	}
+	baseline := make(map[string]float64)
+	for _, r := range base.Results {
+		if strings.HasPrefix(r.Metric, "cycles_per_sec") {
+			baseline[r.Exp+"/"+r.Metric] = r.Value
+		}
+	}
+	// Individual quick experiments finish in well under a millisecond, so
+	// their rates swing wildly between identical runs; only the suite-wide
+	// TOTAL aggregate is stable enough to gate on. Per-experiment records
+	// are compared informationally.
+	compared, failed := 0, 0
+	for _, r := range records {
+		if !strings.HasPrefix(r.Metric, "cycles_per_sec") {
+			continue
+		}
+		want, ok := baseline[r.Exp+"/"+r.Metric]
+		if !ok || want <= 0 {
+			continue
+		}
+		ratio := r.Value / want
+		gating := r.Exp == "TOTAL"
+		if gating {
+			compared++
+		}
+		if ratio < 1-regressionTolerance {
+			if gating {
+				failed++
+				fmt.Fprintf(os.Stderr, "REGRESSION %s/%s: %.0f cycles/sec vs baseline %.0f (%.0f%%)\n",
+					r.Exp, r.Metric, r.Value, want, 100*ratio)
+			} else {
+				fmt.Printf("  note %s/%s: %.0f cycles/sec vs baseline %.0f (%.0f%%, informational)\n",
+					r.Exp, r.Metric, r.Value, want, 100*ratio)
+			}
+		} else {
+			fmt.Printf("  ok %s/%s: %.0f cycles/sec vs baseline %.0f (%.0f%%)\n",
+				r.Exp, r.Metric, r.Value, want, 100*ratio)
+		}
+	}
+	if compared == 0 {
+		fmt.Printf("baseline %s has no comparable TOTAL cycles/sec record; skipping comparison\n", path)
+		return true
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bench guard: aggregate cycles/sec regressed >%.0f%% vs %s\n",
+			100*regressionTolerance, path)
+		return false
+	}
+	fmt.Printf("bench guard: aggregate cycles/sec within %.0f%% of %s\n", 100*regressionTolerance, path)
+	return true
 }
 
 func fatal(err error) {
@@ -177,12 +372,26 @@ func run(p progs.Program, opts core.Options) (*core.Unit, *core.RunResult) {
 	if err != nil {
 		fatal(err)
 	}
+	start := time.Now()
 	res, err := u.Run(p.Inputs)
 	if err != nil {
 		fatal(err)
 	}
+	addSim(res.Exec.Cycles, time.Since(start))
 	finish()
 	return u, res
+}
+
+// execRun runs a hand-built graph on the firing-rule simulator, counting
+// it toward the experiment's cycles/sec.
+func execRun(g *graph.Graph, opts exec.Options) *exec.Result {
+	start := time.Now()
+	res, err := exec.Run(g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	addSim(res.Cycles, time.Since(start))
+	return res
 }
 
 // machineRun runs a graph on the packet-level machine under the bench
@@ -190,10 +399,12 @@ func run(p progs.Program, opts core.Options) (*core.Unit, *core.RunResult) {
 func machineRun(label string, g *graph.Graph, cfg machine.Config) *machine.Result {
 	tr, finish := runTracer(label)
 	cfg.Tracer = tr
+	start := time.Now()
 	res, err := machine.Run(g, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	addSim(res.Cycles, time.Since(start))
 	finish()
 	return res
 }
@@ -222,10 +433,7 @@ func e2(n int) {
 			prev = id
 		}
 		g.Connect(prev, g.AddSink("out"), 0)
-		res, err := exec.Run(g, exec.Options{})
-		if err != nil {
-			fatal(err)
-		}
+		res := execRun(g, exec.Options{})
 		fmt.Printf("  %8d  %14.3f  %10d\n", stages, res.II("out"), res.Arrivals["out"][0].Cycle)
 		record(fmt.Sprintf("ii_stages_%d", stages), res.II("out"))
 	}
@@ -356,10 +564,7 @@ func e10(n int) {
 			fatal(err)
 		}
 		g.Connect(out, g.AddSink("x"), 0)
-		res, err := exec.Run(g, exec.Options{})
-		if err != nil {
-			fatal(err)
-		}
+		res := execRun(g, exec.Options{})
 		fmt.Printf("  %8d  %12d  %14.3f\n", rows, 2*rows-3, res.II("x"))
 		record(fmt.Sprintf("ii_rows_%d", rows), res.II("x"))
 	}

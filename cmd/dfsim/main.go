@@ -114,7 +114,7 @@ func main() {
 			}
 			res, err := machine.Run(g, cfg)
 			if err != nil {
-				fatal(err)
+				fatalPartial(err, res, machine.Describe)
 			}
 			fmt.Print(machine.Describe(res))
 			printOutputs(res.Outputs, *printN)
@@ -123,7 +123,7 @@ func main() {
 		}
 		res, err := exec.Run(g, exec.Options{Tracer: tracer})
 		if err != nil {
-			fatal(err)
+			fatalPartial(err, res, exec.Describe)
 		}
 		fmt.Print(exec.Describe(res))
 		printOutputs(res.Outputs, *printN)
@@ -174,7 +174,7 @@ func main() {
 		}
 		res, err := machine.Run(u.Compiled.Graph, cfg)
 		if err != nil {
-			fatal(err)
+			fatalPartial(err, res, machine.Describe)
 		}
 		fmt.Print(machine.Describe(res))
 		printOutputs(res.Outputs, *printN)
@@ -248,5 +248,17 @@ func readSource(args []string) (string, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// fatalPartial reports a failed run together with the partial result's
+// summary (cycle count, output counts, stall diagnostics) when the
+// simulator returned one — a run that exhausted MaxCycles is diagnosed by
+// exactly that information.
+func fatalPartial[R any](err error, res *R, describe func(*R) string) {
+	fmt.Fprintln(os.Stderr, err)
+	if res != nil {
+		fmt.Fprint(os.Stderr, describe(res))
+	}
 	os.Exit(1)
 }

@@ -144,6 +144,11 @@ func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
 	}
 	res, err := exec.Run(u.Compiled.Graph, exec.Options{MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer})
 	if err != nil {
+		if res != nil {
+			// MaxCycles exhaustion: the partial result carries the stall
+			// diagnostics, which are exactly what the caller needs to see.
+			return nil, fmt.Errorf("%w\n%s", err, exec.Describe(res))
+		}
 		return nil, err
 	}
 	out := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: res}
@@ -198,6 +203,9 @@ func (u *Unit) Report() string {
 			names = append(names, s.Name)
 		}
 		fmt.Fprintf(&b, "passes: %s\n", strings.Join(names, " -> "))
+	}
+	for _, w := range u.Compiled.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
 	}
 	if u.Compiled.Deduped > 0 {
 		fmt.Fprintf(&b, "dedup: %d duplicate cells removed\n", u.Compiled.Deduped)

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"staticpipe/internal/exec"
@@ -33,11 +32,10 @@ var diffPassLists = []string{
 // intermediate graph produces a prefix of the reference output at every
 // sink, never a wrong value. Intermediate graphs are not required to drain
 // completely — an unbalanced graph whose cells were shared by dedup can
-// stall on the acknowledge coupling (only a later balancing pass restores
-// the buffering that guarantees liveness), and the legacy Dedup+NoBalance
-// configuration has the same property. Pipelines whose dedup is followed by
-// balancing (and pipelines with no dedup at all) must additionally produce
-// the COMPLETE reference output from the final graph.
+// stall on the acknowledge coupling. The FINAL graph of every pipeline must
+// produce the complete reference output: the pass manager appends a
+// balancing pass whenever dedup would otherwise run unbalanced, so no
+// configuration is allowed to leave a stall-prone graph.
 func checkAfterEachPass(t *testing.T, src, passList string, inputs map[string][]value.Value, want map[string][]value.Value) {
 	t.Helper()
 	var firstErr error
@@ -76,32 +74,9 @@ func checkAfterEachPass(t *testing.T, src, passList string, inputs map[string][]
 	if firstErr != nil {
 		t.Fatalf("passes=%q: %v", passList, firstErr)
 	}
-	if dedupNeedsBalance(passList) {
-		if err := u.Compiled.SetInputs(inputs); err != nil {
-			t.Fatal(err)
-		}
-		if err := runPrefix(u.Compiled.Graph, want); err != nil {
-			t.Fatalf("passes=%q final graph: %v", passList, err)
-		}
-		return
-	}
 	if err := u.Validate(inputs, 1e-9); err != nil {
 		t.Fatalf("passes=%q final graph: %v", passList, err)
 	}
-}
-
-// dedupNeedsBalance reports whether the pipeline runs dedup without a
-// subsequent balancing pass — the configurations whose final graph is only
-// guaranteed prefix equivalence, not complete drainage.
-func dedupNeedsBalance(passList string) bool {
-	last := ""
-	for _, spec := range strings.Split(passList, ",") {
-		switch strings.TrimSpace(spec) {
-		case "dedup", "balance", "balance-naive":
-			last = strings.TrimSpace(spec)
-		}
-	}
-	return last == "dedup"
 }
 
 // runPrefix executes the graph and checks every expected output stream got
@@ -110,6 +85,9 @@ func dedupNeedsBalance(passList string) bool {
 func runPrefix(g *graph.Graph, want map[string][]value.Value) error {
 	res, err := exec.Run(g, exec.Options{})
 	if err != nil {
+		if res != nil {
+			return fmt.Errorf("%w\n%s", err, exec.Describe(res))
+		}
 		return err
 	}
 	for name, w := range want {

@@ -17,10 +17,17 @@
 //   - a directed cycle of L cells carrying k tokens runs at II = L/k
 //     (Todd's 3-cell for-iter loop: II = 3; the companion-function 4-cell
 //     loop with two circulating values: II = 2).
+//
+// The inner loop is event-driven: a cell is re-examined only when one of
+// its input arcs fills or one of its output arcs drains (a dense ready
+// bitset, not a per-cycle scan of all cells), token state lives in flat
+// slices indexed by arc ID, and per-cycle firing plans are carved out of
+// reusable arenas, so steady-state simulation performs no allocation.
 package exec
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -34,7 +41,9 @@ type Options struct {
 	// MaxCycles bounds the run; 0 means DefaultMaxCycles. Exceeding the
 	// bound returns an error (a live graph fed finite streams always
 	// quiesces, so hitting the bound indicates a livelock or a bound that
-	// is simply too small for the stream length).
+	// is simply too small for the stream length). The partial Result —
+	// firings, outputs produced so far, and the Stalled diagnostics — is
+	// returned alongside the error.
 	MaxCycles int
 	// Trace, if non-nil, receives one line per firing (debugging aid).
 	Trace func(cycle int, node *graph.Node, out value.Value)
@@ -78,21 +87,31 @@ type Result struct {
 // Output returns the stream received by the sink with the given label.
 func (r *Result) Output(label string) []value.Value { return r.Outputs[label] }
 
-// II returns the steady-state initiation interval observed at the given
-// sink: the average cycle gap between consecutive arrivals over the middle
-// half of the stream, which excludes pipeline fill and drain transients.
-// It returns 0 if fewer than two values arrived.
-func (r *Result) II(label string) float64 {
-	arr := r.Arrivals[label]
+// SteadyII returns the steady-state initiation interval of an arrival
+// stream: the average cycle gap between consecutive arrivals over a window
+// chosen to exclude transients. With at least 8 samples the window is the
+// middle half of the stream, excluding both the pipeline fill and drain
+// transients; with 4–7 samples only the fill prefix (the first quarter) is
+// skipped — there are too few samples to also trim the tail; with 2–3
+// samples the whole stream is the window. It returns 0 for fewer than two
+// arrivals.
+func SteadyII(arr []Arrival) float64 {
 	if len(arr) < 2 {
 		return 0
 	}
 	lo, hi := 0, len(arr)-1
-	if len(arr) >= 8 {
+	switch {
+	case len(arr) >= 8:
 		lo, hi = len(arr)/4, 3*len(arr)/4
+	case len(arr) >= 4:
+		lo = len(arr) / 4
 	}
 	return float64(arr[hi].Cycle-arr[lo].Cycle) / float64(hi-lo)
 }
+
+// II returns the steady-state initiation interval observed at the given
+// sink (see SteadyII for the measurement window).
+func (r *Result) II(label string) float64 { return SteadyII(r.Arrivals[label]) }
 
 // FullyPipelined reports whether the sink sustained the maximum rate of one
 // result per two instruction times (§3).
@@ -101,30 +120,53 @@ func (r *Result) FullyPipelined(label string) bool {
 	return ii > 0 && ii <= 2.0+1e-9
 }
 
+// bitset is a dense set of node IDs — the event-driven ready set.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 // sim is the mutable machine state.
 type sim struct {
 	g       *graph.Graph
-	arcTok  []*value.Value // token (or nil) per arc ID
-	srcPos  []int          // next stream index per node ID (sources/ctlgens)
-	ctlPos  []int
+	arcHas  []bool        // token presence per arc ID
+	arcVal  []value.Value // token value per arc ID (meaningful when arcHas)
+	srcPos  []int         // next stream index per node ID (sources/ctlgens)
 	firings []int
 	outs    map[string][]value.Value
 	arrs    map[string][]Arrival
+	outCap  int // preallocation hint for sink streams (max source length)
 	trace   func(int, *graph.Node, value.Value)
 	tr      trace.Tracer
 
 	// candidate tracking: a cell's enabledness only changes when one of
-	// its input arcs fills or one of its output arcs drains.
-	cand     map[graph.NodeID]bool
-	nextCand map[graph.NodeID]bool
+	// its input arcs fills or one of its output arcs drains, so only those
+	// cells are re-planned each cycle.
+	cand     bitset
+	nextCand bitset
+
+	// per-cycle scratch, reused across cycles: the firing plans and the
+	// arena their consume/produce arc-ID runs are carved from.
+	plans  []firing
+	arcIDs []int
+	vals   []value.Value
 }
 
 // firing is a cell's planned effect, computed against the start-of-cycle
-// snapshot and applied after all cells have been examined.
+// snapshot and applied after all cells have been examined. The consume and
+// produce arc-ID runs live in the sim's arcIDs arena as [c0:c1) and
+// [p0:p1) index ranges (ranges stay valid across arena growth).
 type firing struct {
 	node     *graph.Node
-	consume  []int // arc IDs to clear
-	produce  []int // arc IDs to fill
+	c0, c1   int32 // arcIDs[c0:c1]: arcs to clear
+	p0, p1   int32 // arcIDs[p0:p1]: arcs to fill
 	out      value.Value
 	sink     bool
 	advance  bool // sources and control generators advance their position
@@ -132,6 +174,8 @@ type firing struct {
 }
 
 // Run simulates the graph until no cell is enabled and returns the result.
+// When MaxCycles is exhausted before quiescence the partial Result (with
+// Stalled diagnostics populated) is returned together with the error.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -146,15 +190,16 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	s := &sim{
 		g:        g,
-		arcTok:   make([]*value.Value, g.NumArcs()),
+		arcHas:   make([]bool, g.NumArcs()),
+		arcVal:   make([]value.Value, g.NumArcs()),
 		srcPos:   make([]int, g.NumNodes()),
 		firings:  make([]int, g.NumNodes()),
 		outs:     map[string][]value.Value{},
 		arrs:     map[string][]Arrival{},
 		trace:    opt.Trace,
 		tr:       opt.Tracer,
-		cand:     map[graph.NodeID]bool{},
-		nextCand: map[graph.NodeID]bool{},
+		cand:     newBitset(g.NumNodes()),
+		nextCand: newBitset(g.NumNodes()),
 	}
 	if s.tr != nil {
 		names := make([]string, g.NumNodes())
@@ -165,18 +210,23 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	for _, a := range g.Arcs() {
 		if a.Init != nil {
-			tok := *a.Init
-			s.arcTok[a.ID] = &tok
+			s.arcHas[a.ID] = true
+			s.arcVal[a.ID] = *a.Init
 		}
 	}
 	for _, n := range g.Nodes() {
-		s.cand[n.ID] = true
-		if n.Op == graph.OpSink {
+		s.cand.set(int(n.ID))
+		switch n.Op {
+		case graph.OpSink:
 			if _, dup := s.outs[n.Label]; dup {
 				return nil, fmt.Errorf("exec: duplicate sink label %q", n.Label)
 			}
 			s.outs[n.Label] = nil
 			s.arrs[n.Label] = nil
+		case graph.OpSource:
+			if len(n.Stream) > s.outCap {
+				s.outCap = len(n.Stream)
+			}
 		}
 	}
 
@@ -191,9 +241,6 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		}
 		s.apply(cycle, plans)
 	}
-	if cycle >= maxCycles {
-		return nil, fmt.Errorf("exec: no quiescence after %d cycles (livelock or MaxCycles too small)", maxCycles)
-	}
 
 	res := &Result{
 		Cycles:   cycle,
@@ -203,30 +250,33 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		Graph:    g,
 	}
 	res.Clean, res.Stalled = s.drainState()
+	if cycle >= maxCycles {
+		return res, fmt.Errorf("exec: no quiescence after %d cycles (livelock or MaxCycles too small)", maxCycles)
+	}
 	return res, nil
 }
 
 // collect examines candidate cells against the current snapshot and returns
 // the firing plans of all enabled cells in deterministic (NodeID) order.
 func (s *sim) collect() []firing {
-	ids := make([]int, 0, len(s.cand))
-	for id := range s.cand {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	var plans []firing
-	for _, id := range ids {
-		n := s.g.Node(graph.NodeID(id))
-		if f, why := s.plan(n); why == trace.ReasonNone {
-			plans = append(plans, f)
+	s.plans = s.plans[:0]
+	s.arcIDs = s.arcIDs[:0]
+	for w, word := range s.cand {
+		for word != 0 {
+			id := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			n := s.g.Node(graph.NodeID(id))
+			if f, why := s.plan(n); why == trace.ReasonNone {
+				s.plans = append(s.plans, f)
+			}
 		}
 	}
-	return plans
+	return s.plans
 }
 
 // emitStalls classifies every cell that will not fire this cycle and emits
-// one stall event per waiting cell (tracing only; plan is side-effect
-// free, so this pass cannot perturb the run).
+// one stall event per waiting cell (tracing only; plan is semantically
+// side-effect free, so this pass cannot perturb the run).
 func (s *sim) emitStalls(cycle int, plans []firing) {
 	firing := make(map[graph.NodeID]bool, len(plans))
 	for _, f := range plans {
@@ -245,32 +295,35 @@ func (s *sim) emitStalls(cycle int, plans []firing) {
 	}
 }
 
-// operand returns the value on port p of n, or nil if absent.
-func (s *sim) operand(n *graph.Node, p int) *value.Value {
+// operand returns the value on port p of n and whether it is present.
+func (s *sim) operand(n *graph.Node, p int) (value.Value, bool) {
 	in := n.In[p]
 	if in.Literal != nil {
-		return in.Literal
+		return *in.Literal, true
 	}
 	if in.Arc == nil {
-		return nil
+		return value.Value{}, false
 	}
-	return s.arcTok[in.Arc.ID]
+	if !s.arcHas[in.Arc.ID] {
+		return value.Value{}, false
+	}
+	return s.arcVal[in.Arc.ID], true
 }
 
-// consumeArc appends port p's arc (if any) to the consume list.
-func consumeArc(n *graph.Node, p int, consume []int) []int {
+// consumeArc appends port p's arc (if any) to the arena's consume run.
+func (s *sim) consumeArc(n *graph.Node, p int) {
 	if a := n.In[p].Arc; a != nil {
-		return append(consume, a.ID)
+		s.arcIDs = append(s.arcIDs, a.ID)
 	}
-	return consume
 }
 
 // plan decides whether cell n can fire now and, if so, what its effects
 // are. The returned reason is trace.ReasonNone when the cell is enabled and
-// otherwise classifies the stall (used by the observability layer; plan is
-// side-effect free either way).
+// otherwise classifies the stall (used by the observability layer; plan
+// touches only scratch arenas either way, never machine state).
 func (s *sim) plan(n *graph.Node) (firing, trace.Reason) {
 	f := firing{node: n}
+	f.c0 = int32(len(s.arcIDs))
 
 	// Phase 1: operand availability and result computation.
 	switch n.Op {
@@ -292,49 +345,49 @@ func (s *sim) plan(n *graph.Node) (firing, trace.Reason) {
 		f.produced = true
 
 	case graph.OpSink:
-		v := s.operand(n, 0)
-		if v == nil {
+		v, ok := s.operand(n, 0)
+		if !ok {
 			return f, trace.ReasonOperandWait
 		}
-		f.out = *v
+		f.out = v
 		f.sink = true
-		f.consume = consumeArc(n, 0, f.consume)
+		s.consumeArc(n, 0)
 
 	case graph.OpMerge:
-		ctl := s.operand(n, 0)
-		if ctl == nil {
+		ctl, ok := s.operand(n, 0)
+		if !ok {
 			return f, trace.ReasonOperandWait
 		}
 		sel := 2
 		if ctl.AsBool() {
 			sel = 1
 		}
-		v := s.operand(n, sel)
-		if v == nil {
+		v, ok := s.operand(n, sel)
+		if !ok {
 			return f, trace.ReasonOperandWait
 		}
 		// extra control ports (gates) must also be present
 		for p := 3; p < len(n.In); p++ {
-			if s.operand(n, p) == nil {
+			if _, ok := s.operand(n, p); !ok {
 				return f, trace.ReasonOperandWait
 			}
 		}
-		f.out = *v
+		f.out = v
 		f.produced = true
-		f.consume = consumeArc(n, 0, f.consume)
-		f.consume = consumeArc(n, sel, f.consume)
+		s.consumeArc(n, 0)
+		s.consumeArc(n, sel)
 		for p := 3; p < len(n.In); p++ {
-			f.consume = consumeArc(n, p, f.consume)
+			s.consumeArc(n, p)
 		}
 
 	case graph.OpTGate, graph.OpFGate:
-		ctl := s.operand(n, 0)
-		data := s.operand(n, 1)
-		if ctl == nil || data == nil {
+		ctl, okc := s.operand(n, 0)
+		data, okd := s.operand(n, 1)
+		if !okc || !okd {
 			return f, trace.ReasonOperandWait
 		}
 		for p := 2; p < len(n.In); p++ {
-			if s.operand(n, p) == nil {
+			if _, ok := s.operand(n, p); !ok {
 				return f, trace.ReasonOperandWait
 			}
 		}
@@ -342,27 +395,32 @@ func (s *sim) plan(n *graph.Node) (firing, trace.Reason) {
 		if n.Op == graph.OpFGate {
 			pass = !pass
 		}
-		f.out = *data
+		f.out = data
 		f.produced = pass // false: discard, consuming both operands
 		for p := 0; p < len(n.In); p++ {
-			f.consume = consumeArc(n, p, f.consume)
+			s.consumeArc(n, p)
 		}
 
 	default: // ordinary operator and identity cells
-		vals := make([]value.Value, len(n.In))
+		if cap(s.vals) < len(n.In) {
+			s.vals = make([]value.Value, len(n.In))
+		}
+		vals := s.vals[:len(n.In)]
 		for p := range n.In {
-			v := s.operand(n, p)
-			if v == nil {
+			v, ok := s.operand(n, p)
+			if !ok {
 				return f, trace.ReasonOperandWait
 			}
-			vals[p] = *v
+			vals[p] = v
 		}
 		f.out = ApplyOp(n.Op, vals)
 		f.produced = true
 		for p := range n.In {
-			f.consume = consumeArc(n, p, f.consume)
+			s.consumeArc(n, p)
 		}
 	}
+	f.c1 = int32(len(s.arcIDs))
+	f.p0 = f.c1
 
 	// Phase 2: destination availability. Every arc this firing will write
 	// must be empty (its previous token acknowledged). Gated arcs are
@@ -371,20 +429,21 @@ func (s *sim) plan(n *graph.Node) (firing, trace.Reason) {
 		for _, a := range n.Out {
 			write := true
 			if a.Gate != graph.NoGate {
-				gv := s.operand(n, a.Gate)
-				if gv == nil {
+				gv, ok := s.operand(n, a.Gate)
+				if !ok {
 					return f, trace.ReasonOperandWait // gate operand itself not ready
 				}
 				write = gv.AsBool()
 			}
 			if write {
-				if s.arcTok[a.ID] != nil {
+				if s.arcHas[a.ID] {
 					return f, trace.ReasonAckWait
 				}
-				f.produce = append(f.produce, a.ID)
+				s.arcIDs = append(s.arcIDs, a.ID)
 			}
 		}
 	}
+	f.p1 = int32(len(s.arcIDs))
 	return f, trace.ReasonNone
 }
 
@@ -435,22 +494,24 @@ func ApplyOp(op graph.Op, v []value.Value) value.Value {
 
 // apply commits the cycle's firings and updates the candidate set.
 func (s *sim) apply(cycle int, plans []firing) {
-	clear(s.nextCand)
-	for _, f := range plans {
+	s.nextCand.reset()
+	arcs := s.g.Arcs()
+	for i := range plans {
+		f := &plans[i]
 		n := f.node
 		s.firings[n.ID]++
-		s.nextCand[n.ID] = true
+		s.nextCand.set(int(n.ID))
 		if s.tr != nil {
 			s.tr.Emit(trace.Event{
 				Cycle: int64(cycle), Kind: trace.KindFiring,
 				Cell: int32(n.ID), Port: -1, Unit: -1, Src: -1, Dst: -1,
 			})
 		}
-		for _, aid := range f.consume {
-			s.arcTok[aid] = nil
+		for _, aid := range s.arcIDs[f.c0:f.c1] {
+			s.arcHas[aid] = false
 			// the producer of a drained arc may now be enabled
-			producer := s.g.Arcs()[aid].From
-			s.nextCand[producer] = true
+			producer := arcs[aid].From
+			s.nextCand.set(int(producer))
 			if s.tr != nil {
 				// draining the arc is the moment the acknowledge packet
 				// would reach the producer
@@ -464,19 +525,20 @@ func (s *sim) apply(cycle int, plans []firing) {
 			s.srcPos[n.ID]++
 		}
 		if f.sink {
-			s.outs[n.Label] = append(s.outs[n.Label], f.out)
-			s.arrs[n.Label] = append(s.arrs[n.Label], Arrival{Cycle: cycle, Val: f.out})
+			s.outs[n.Label] = appendPrealloc(s.outs[n.Label], f.out, s.outCap)
+			s.arrs[n.Label] = appendArrPrealloc(s.arrs[n.Label], Arrival{Cycle: cycle, Val: f.out}, s.outCap)
 		}
 		if s.trace != nil && f.produced {
 			s.trace(cycle, n, f.out)
 		}
 	}
-	for _, f := range plans {
-		tok := f.out
-		for _, aid := range f.produce {
-			s.arcTok[aid] = &tok
-			a := s.g.Arcs()[aid]
-			s.nextCand[a.To] = true
+	for i := range plans {
+		f := &plans[i]
+		for _, aid := range s.arcIDs[f.p0:f.p1] {
+			s.arcHas[aid] = true
+			s.arcVal[aid] = f.out
+			a := arcs[aid]
+			s.nextCand.set(int(a.To))
 			if s.tr != nil {
 				s.tr.Emit(trace.Event{
 					Cycle: int64(cycle), Kind: trace.KindToken,
@@ -486,6 +548,22 @@ func (s *sim) apply(cycle int, plans []firing) {
 		}
 	}
 	s.cand, s.nextCand = s.nextCand, s.cand
+}
+
+// appendPrealloc appends to a sink stream, sizing the buffer for the whole
+// expected stream on first use so steady-state appends never reallocate.
+func appendPrealloc(s []value.Value, v value.Value, hint int) []value.Value {
+	if s == nil && hint > 0 {
+		s = make([]value.Value, 0, hint)
+	}
+	return append(s, v)
+}
+
+func appendArrPrealloc(s []Arrival, a Arrival, hint int) []Arrival {
+	if s == nil && hint > 0 {
+		s = make([]Arrival, 0, hint)
+	}
+	return append(s, a)
 }
 
 // drainState reports whether the quiescent machine is fully drained and
@@ -507,9 +585,9 @@ func (s *sim) drainState() (bool, []string) {
 		}
 	}
 	for _, a := range s.g.Arcs() {
-		if s.arcTok[a.ID] != nil {
+		if s.arcHas[a.ID] {
 			stalled = append(stalled, fmt.Sprintf("token %s stranded on arc %s -> %s port %d",
-				s.arcTok[a.ID], s.g.Node(a.From).Name(), s.g.Node(a.To).Name(), a.ToPort))
+				s.arcVal[a.ID], s.g.Node(a.From).Name(), s.g.Node(a.To).Name(), a.ToPort))
 		}
 	}
 	return len(stalled) == 0, stalled

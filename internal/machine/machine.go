@@ -11,6 +11,12 @@
 // latency, network transit and contention, and the split of packet traffic
 // between processing elements and array memories ("one eighth or less of
 // the operation packets would be sent to the array memories").
+//
+// The inner loop is event-driven: network transit and function-unit
+// completion are tracked on time wheels indexed by due cycle (no per-cycle
+// scans of in-flight lists), operand tokens live in flat per-cell slices,
+// packets are recycled through a free list, and sink buffers are
+// preallocated, so steady-state simulation allocates nothing.
 package machine
 
 import (
@@ -163,19 +169,9 @@ type Result struct {
 // Output returns the stream received by the sink with the given label.
 func (r *Result) Output(label string) []value.Value { return r.Outputs[label] }
 
-// II returns the steady-state initiation interval at the named sink
-// (middle-half measurement, as exec.Result.II).
-func (r *Result) II(label string) float64 {
-	arr := r.Arrivals[label]
-	if len(arr) < 2 {
-		return 0
-	}
-	lo, hi := 0, len(arr)-1
-	if len(arr) >= 8 {
-		lo, hi = len(arr)/4, 3*len(arr)/4
-	}
-	return float64(arr[hi].Cycle-arr[lo].Cycle) / float64(hi-lo)
-}
+// II returns the steady-state initiation interval at the named sink (same
+// transient-excluding measurement window as exec.SteadyII).
+func (r *Result) II(label string) float64 { return exec.SteadyII(r.Arrivals[label]) }
 
 // AMFraction returns the share of routed packets touching array memory.
 func (r *Result) AMFraction() float64 {
@@ -197,23 +193,28 @@ func (r *Result) Utilization() float64 {
 	return float64(total) / float64(r.Cycles*len(r.PEBusy))
 }
 
-// cell is the machine-resident state of one instruction cell.
+// cell is the machine-resident state of one instruction cell. Operand
+// tokens are held flat (value + presence bit) rather than as pointers.
 type cell struct {
 	node        *graph.Node
 	endpoint    int
-	inTok       []*value.Value
+	inTok       []value.Value
+	inHas       []bool
 	pendingAcks int
 	srcPos      int
 }
 
-// fu is one pipelined function unit.
+// fu is one pipelined function unit. In-flight operations sit on a time
+// wheel bucketed by completion cycle; the initiation queue is a FIFO with a
+// popped-prefix head index.
 type fu struct {
 	queue    []*packet // operation packets awaiting initiation
-	inflight []fuJob
+	qhead    int
+	wheel    [][]fuJob // wheel[doneAt % wheelSlots], initiation order within a bucket
+	inflight int
 }
 
 type fuJob struct {
-	doneAt  int
 	result  value.Value
 	targets []target
 	srcCell int
@@ -223,19 +224,31 @@ type fuJob struct {
 type machine struct {
 	cfg   Config
 	g     *graph.Graph
-	cells []*cell
+	cells []cell
 	// residents[e] lists cell ids hosted by endpoint e (PEs and AMs).
-	residents map[int][]int
-	rrNext    map[int]int
+	residents [][]int
+	rrNext    []int
 	net       network   // distribution network (results, acks); all traffic when not split
 	opNet     network   // routing network for operation packets (nil unless SplitNetworks)
 	localNext []*packet // same-endpoint packets delivered next cycle
-	fus       []*fu
+	localBuf  []*packet // spare buffer swapped with localNext each cycle
+	fus       []fu
+	fuSlots   int // FU wheel size: max latency + 1
 	res       *Result
-	inflight  int // local packets in flight
+	pktCount  [3]int // routed traffic by packetKind
+	inflight  int    // local packets in flight
 	fuSeq     int
+	outCap    int // preallocation hint for sink streams
 	tr        trace.Tracer
 	fired     []bool // per-cell fired-this-cycle scratch (tracing only)
+
+	// plan scratch, reused across planCell calls (copied out when a plan's
+	// slices must outlive the call — operation packets ship them to FUs).
+	consumeBuf []int
+	valsBuf    []value.Value
+	targetBuf  []target
+
+	pktFree []*packet // recycled packets
 }
 
 // endpoint layout: [0, PEs) compute PEs, [PEs, PEs+FUs) function units,
@@ -245,7 +258,23 @@ func (m *machine) amEndpoint(i int) int { return m.cfg.PEs + m.cfg.FUs + i }
 func (m *machine) numEndpoints() int    { return m.cfg.PEs + m.cfg.FUs + m.cfg.AMs }
 func (m *machine) isAM(e int) bool      { return e >= m.cfg.PEs+m.cfg.FUs }
 
-// Run simulates the graph on the configured machine.
+// newPacket returns a zeroed packet, recycled from the free list when
+// possible.
+func (m *machine) newPacket() *packet {
+	if n := len(m.pktFree); n > 0 {
+		p := m.pktFree[n-1]
+		m.pktFree = m.pktFree[:n-1]
+		*p = packet{}
+		return p
+	}
+	return &packet{}
+}
+
+func (m *machine) freePacket(p *packet) { m.pktFree = append(m.pktFree, p) }
+
+// Run simulates the graph on the configured machine. When MaxCycles is
+// exhausted before quiescence the partial Result (with Stalled diagnostics
+// populated) is returned together with the error.
 func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := g.Validate(); err != nil {
@@ -256,8 +285,8 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		cfg:       cfg,
 		g:         g,
 		tr:        cfg.Tracer,
-		residents: map[int][]int{},
-		rrNext:    map[int]int{},
+		residents: make([][]int, cfg.PEs+cfg.FUs+cfg.AMs),
+		rrNext:    make([]int, cfg.PEs+cfg.FUs+cfg.AMs),
 		res: &Result{
 			Graph:    g,
 			Outputs:  map[string][]value.Value{},
@@ -277,8 +306,10 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	if cfg.SplitNetworks {
 		m.opNet = mkNet()
 	}
-	for i := 0; i < cfg.FUs; i++ {
-		m.fus = append(m.fus, &fu{})
+	m.fuSlots = max(cfg.MulLatency, cfg.AddLatency) + 1
+	m.fus = make([]fu, cfg.FUs)
+	for i := range m.fus {
+		m.fus[i].wheel = make([][]fuJob, m.fuSlots)
 	}
 	m.place()
 	if m.tr != nil {
@@ -286,19 +317,25 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		m.tr.Start(m.meta())
 	}
 	for _, n := range g.Nodes() {
-		if n.Op == graph.OpSink {
+		switch n.Op {
+		case graph.OpSink:
 			if _, dup := m.res.Outputs[n.Label]; dup {
 				return nil, fmt.Errorf("machine: duplicate sink label %q", n.Label)
 			}
 			m.res.Outputs[n.Label] = nil
 			m.res.Arrivals[n.Label] = nil
+		case graph.OpSource:
+			if len(n.Stream) > m.outCap {
+				m.outCap = len(n.Stream)
+			}
 		}
 	}
 	// initial tokens
 	for _, a := range g.Arcs() {
 		if a.Init != nil {
-			tok := *a.Init
-			m.cells[a.To].inTok[a.ToPort] = &tok
+			c := &m.cells[a.To]
+			c.inTok[a.ToPort] = *a.Init
+			c.inHas[a.ToPort] = true
 		}
 	}
 
@@ -308,11 +345,16 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 			break
 		}
 	}
-	if cycle >= cfg.MaxCycles {
-		return nil, fmt.Errorf("machine: no quiescence after %d cycles", cfg.MaxCycles)
-	}
 	m.res.Cycles = cycle
 	m.res.Clean, m.res.Stalled = m.drainState()
+	for k := pktResult; k <= pktOp; k++ {
+		if m.pktCount[k] > 0 {
+			m.res.Packets[k.String()] = m.pktCount[k]
+		}
+	}
+	if cycle >= cfg.MaxCycles {
+		return m.res, fmt.Errorf("machine: no quiescence after %d cycles (livelock or MaxCycles too small)", cfg.MaxCycles)
+	}
 	return m.res, nil
 }
 
@@ -343,12 +385,14 @@ func (m *machine) meta() trace.Meta {
 // place assigns cells to endpoints: sources and sinks to AMs, everything
 // else per the configured strategy.
 func (m *machine) place() {
-	m.cells = make([]*cell, m.g.NumNodes())
+	m.cells = make([]cell, m.g.NumNodes())
 	var computeIDs []int
 	amNext := 0
 	for _, n := range m.g.Nodes() {
-		c := &cell{node: n, inTok: make([]*value.Value, len(n.In))}
-		m.cells[n.ID] = c
+		c := &m.cells[n.ID]
+		c.node = n
+		c.inTok = make([]value.Value, len(n.In))
+		c.inHas = make([]bool, len(n.In))
 		if n.Op == graph.OpSource || n.Op == graph.OpSink {
 			c.endpoint = m.amEndpoint(amNext % m.cfg.AMs)
 			amNext++
@@ -386,8 +430,7 @@ func (m *machine) step(now int) bool {
 	active := false
 
 	// 1. Network delivery.
-	delivered := m.net.step()
-	for _, p := range delivered {
+	for _, p := range m.net.step() {
 		m.deliver(p, now)
 		active = true
 	}
@@ -399,46 +442,57 @@ func (m *machine) step(now int) bool {
 	}
 	// local same-endpoint deliveries scheduled last cycle
 	locals := m.localNext
-	m.localNext = nil
+	m.localNext = m.localBuf[:0]
 	for _, p := range locals {
 		m.deliver(p, now)
 		m.inflight--
 		active = true
 	}
+	m.localBuf = locals[:0]
 
-	// 2. Function units: complete and initiate.
-	for fi, f := range m.fus {
-		rest := f.inflight[:0]
-		for _, job := range f.inflight {
-			if job.doneAt <= now {
-				if m.tr != nil {
-					m.tr.Emit(trace.Event{
-						Cycle: int64(now), Kind: trace.KindFUDone,
-						Cell: int32(job.srcCell), Port: -1, Unit: int32(m.fuEndpoint(fi)), Src: -1, Dst: -1,
-					})
-				}
-				for _, tgt := range job.targets {
-					m.emit(&packet{
-						kind: pktResult, src: m.fuEndpoint(fi), dst: tgt.endpoint,
-						cell: tgt.cell, port: tgt.port, val: job.result,
-					}, now)
-				}
-			} else {
-				rest = append(rest, job)
-				active = true
+	// 2. Function units: complete and initiate. Completions due this cycle
+	// sit in the wheel bucket for now; within a bucket they are in
+	// initiation order (an op's latency never exceeds the wheel span, so
+	// buckets never mix completion cycles).
+	slot := now % m.fuSlots
+	for fi := range m.fus {
+		f := &m.fus[fi]
+		done := f.wheel[slot]
+		for ji := range done {
+			job := &done[ji]
+			if m.tr != nil {
+				m.tr.Emit(trace.Event{
+					Cycle: int64(now), Kind: trace.KindFUDone,
+					Cell: int32(job.srcCell), Port: -1, Unit: int32(m.fuEndpoint(fi)), Src: -1, Dst: -1,
+				})
+			}
+			for _, tgt := range job.targets {
+				p := m.newPacket()
+				p.kind, p.src, p.dst = pktResult, m.fuEndpoint(fi), tgt.endpoint
+				p.cell, p.port, p.val = tgt.cell, tgt.port, job.result
+				m.emit(p, now)
 			}
 		}
-		f.inflight = rest
-		if len(f.queue) > 0 {
-			p := f.queue[0]
-			f.queue = f.queue[1:]
+		f.inflight -= len(done)
+		f.wheel[slot] = done[:0]
+		if f.inflight > 0 {
+			active = true
+		}
+		if f.qhead < len(f.queue) {
+			p := f.queue[f.qhead]
+			f.qhead++
+			if f.qhead == len(f.queue) {
+				f.queue = f.queue[:0]
+				f.qhead = 0
+			}
 			lat := m.latencyOf(graph.Op(p.op.opcode))
-			f.inflight = append(f.inflight, fuJob{
-				doneAt:  now + lat,
+			dslot := (now + lat) % m.fuSlots
+			f.wheel[dslot] = append(f.wheel[dslot], fuJob{
 				result:  exec.ApplyOp(graph.Op(p.op.opcode), p.op.vals),
 				targets: p.op.targets,
 				srcCell: p.op.srcCell,
 			})
+			f.inflight++
 			m.res.FUBusy[fi]++
 			if m.tr != nil {
 				m.tr.Emit(trace.Event{
@@ -447,6 +501,7 @@ func (m *machine) step(now int) bool {
 					Aux: int64(lat),
 				})
 			}
+			m.freePacket(p)
 			active = true
 		}
 	}
@@ -463,7 +518,7 @@ func (m *machine) step(now int) bool {
 		start := m.rrNext[e]
 		for k := 0; k < len(ids); k++ {
 			id := ids[(start+k)%len(ids)]
-			if m.fire(m.cells[id], now) {
+			if m.fire(&m.cells[id], now) {
 				m.rrNext[e] = (start + k + 1) % len(ids)
 				if e < m.cfg.PEs {
 					m.res.PEBusy[e]++
@@ -492,10 +547,11 @@ func (m *machine) step(now int) bool {
 // succeeds but did not fire lost its endpoint's one-instruction-per-cycle
 // slot — PE instruction-bandwidth contention.
 func (m *machine) emitStalls(now int) {
-	for id, c := range m.cells {
+	for id := range m.cells {
 		if m.fired[id] {
 			continue
 		}
+		c := &m.cells[id]
 		_, why := m.planCell(c)
 		switch why {
 		case trace.ReasonNone:
@@ -524,7 +580,7 @@ func (m *machine) latencyOf(op graph.Op) int {
 // so delivery can report the transit (and queueing) time.
 func (m *machine) emit(p *packet, now int) {
 	p.sentAt = now
-	m.res.Packets[p.kind.String()]++
+	m.pktCount[p.kind]++
 	m.res.TotalPackets++
 	if m.isAM(p.src) || m.isAM(p.dst) {
 		m.res.AMPackets++
@@ -548,7 +604,9 @@ func (m *machine) emit(p *packet, now int) {
 	m.net.send(p)
 }
 
-// deliver applies an arrived packet to its destination.
+// deliver applies an arrived packet to its destination. Result and ack
+// packets die here and are recycled; operation packets queue at their
+// function unit and are recycled at initiation.
 func (m *machine) deliver(p *packet, now int) {
 	if m.tr != nil {
 		m.tr.Emit(trace.Event{
@@ -561,30 +619,39 @@ func (m *machine) deliver(p *packet, now int) {
 	switch p.kind {
 	case pktAck:
 		m.cells[p.cell].pendingAcks--
+		m.freePacket(p)
 	case pktResult:
-		c := m.cells[p.cell]
-		if c.inTok[p.port] != nil {
+		c := &m.cells[p.cell]
+		if c.inHas[p.port] {
 			panic(fmt.Sprintf("machine: operand slot collision at %s port %d", c.node.Name(), p.port))
 		}
-		v := p.val
-		c.inTok[p.port] = &v
+		c.inTok[p.port] = p.val
+		c.inHas[p.port] = true
+		m.freePacket(p)
 	case pktOp:
 		fi := p.dst - m.cfg.PEs
 		m.fus[fi].queue = append(m.fus[fi].queue, p)
 	}
 }
 
-// operand returns the value at port p (literal or held token).
-func (c *cell) operand(p int) *value.Value {
-	if c.node.In[p].Literal != nil {
-		return c.node.In[p].Literal
+// operand returns the value at port p (literal or held token) and whether
+// it is present.
+func (c *cell) operand(p int) (value.Value, bool) {
+	if lit := c.node.In[p].Literal; lit != nil {
+		return *lit, true
 	}
-	return c.inTok[p]
+	if !c.inHas[p] {
+		return value.Value{}, false
+	}
+	return c.inTok[p], true
 }
 
 // cellPlan is a cell's planned retirement effect, computed read-only by
 // planCell and applied by fire. Arithmetic cells (arith) ship an operation
-// packet carrying vals instead of producing out locally.
+// packet carrying vals instead of producing out locally. The consume,
+// vals, and targets slices alias the machine's plan scratch buffers and
+// are only valid until the next planCell call; fire copies the ones that
+// must outlive the plan.
 type cellPlan struct {
 	consume  []int // ports whose tokens are consumed
 	out      value.Value
@@ -599,13 +666,14 @@ type cellPlan struct {
 // planCell decides whether cell c can retire now and, if so, what its
 // effects are. The returned reason is trace.ReasonNone when the cell is
 // enabled and otherwise classifies the stall; planCell has no side
-// effects either way.
+// effects beyond the machine's scratch buffers either way.
 func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 	var pl cellPlan
 	if c.pendingAcks > 0 {
 		return pl, trace.ReasonAckWait
 	}
 	n := c.node
+	m.consumeBuf = m.consumeBuf[:0]
 
 	switch n.Op {
 	case graph.OpSource:
@@ -624,45 +692,45 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 		pl.produced = true
 		pl.advance = true
 	case graph.OpSink:
-		v := c.operand(0)
-		if v == nil {
+		v, ok := c.operand(0)
+		if !ok {
 			return pl, trace.ReasonOperandWait
 		}
-		pl.out = *v
+		pl.out = v
 		pl.sink = true
-		pl.consume = append(pl.consume, 0)
+		m.consumeBuf = append(m.consumeBuf, 0)
 	case graph.OpMerge:
-		ctl := c.operand(0)
-		if ctl == nil {
+		ctl, ok := c.operand(0)
+		if !ok {
 			return pl, trace.ReasonOperandWait
 		}
 		sel := 2
 		if ctl.AsBool() {
 			sel = 1
 		}
-		v := c.operand(sel)
-		if v == nil {
+		v, ok := c.operand(sel)
+		if !ok {
 			return pl, trace.ReasonOperandWait
 		}
 		for p := 3; p < len(n.In); p++ {
-			if c.operand(p) == nil {
+			if _, ok := c.operand(p); !ok {
 				return pl, trace.ReasonOperandWait
 			}
 		}
-		pl.out = *v
+		pl.out = v
 		pl.produced = true
-		pl.consume = append(pl.consume, 0, sel)
+		m.consumeBuf = append(m.consumeBuf, 0, sel)
 		for p := 3; p < len(n.In); p++ {
-			pl.consume = append(pl.consume, p)
+			m.consumeBuf = append(m.consumeBuf, p)
 		}
 	case graph.OpTGate, graph.OpFGate:
-		ctl := c.operand(0)
-		data := c.operand(1)
-		if ctl == nil || data == nil {
+		ctl, okc := c.operand(0)
+		data, okd := c.operand(1)
+		if !okc || !okd {
 			return pl, trace.ReasonOperandWait
 		}
 		for p := 2; p < len(n.In); p++ {
-			if c.operand(p) == nil {
+			if _, ok := c.operand(p); !ok {
 				return pl, trace.ReasonOperandWait
 			}
 		}
@@ -670,22 +738,25 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 		if n.Op == graph.OpFGate {
 			pass = !pass
 		}
-		pl.out = *data
+		pl.out = data
 		pl.produced = pass
 		for p := 0; p < len(n.In); p++ {
-			pl.consume = append(pl.consume, p)
+			m.consumeBuf = append(m.consumeBuf, p)
 		}
 	default:
-		vals := make([]value.Value, len(n.In))
+		if cap(m.valsBuf) < len(n.In) {
+			m.valsBuf = make([]value.Value, len(n.In))
+		}
+		vals := m.valsBuf[:len(n.In)]
 		for p := range n.In {
-			v := c.operand(p)
-			if v == nil {
+			v, ok := c.operand(p)
+			if !ok {
 				return pl, trace.ReasonOperandWait
 			}
-			vals[p] = *v
+			vals[p] = v
 		}
 		for p := range n.In {
-			pl.consume = append(pl.consume, p)
+			m.consumeBuf = append(m.consumeBuf, p)
 		}
 		if n.Op.IsArith() {
 			pl.arith = true
@@ -695,25 +766,28 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 			pl.produced = true
 		}
 	}
+	pl.consume = m.consumeBuf
 
 	// Destination list (gates evaluated against held operands). Arithmetic
 	// cells always ship their destinations with the operation packet.
 	if pl.produced || pl.arith {
+		m.targetBuf = m.targetBuf[:0]
 		for _, a := range n.Out {
 			write := true
 			if a.Gate != graph.NoGate {
-				gv := c.operand(a.Gate)
-				if gv == nil {
+				gv, ok := c.operand(a.Gate)
+				if !ok {
 					return pl, trace.ReasonOperandWait
 				}
 				write = gv.AsBool()
 			}
 			if write {
-				pl.targets = append(pl.targets, target{
+				m.targetBuf = append(m.targetBuf, target{
 					endpoint: m.cells[a.To].endpoint, cell: int(a.To), port: a.ToPort,
 				})
 			}
 		}
+		pl.targets = m.targetBuf
 	}
 	return pl, trace.ReasonNone
 }
@@ -740,22 +814,30 @@ func (m *machine) fire(c *cell, now int) bool {
 		c.srcPos++
 	}
 	if pl.sink {
-		m.res.Outputs[n.Label] = append(m.res.Outputs[n.Label], pl.out)
-		m.res.Arrivals[n.Label] = append(m.res.Arrivals[n.Label], exec.Arrival{Cycle: now, Val: pl.out})
+		m.res.Outputs[n.Label] = appendPrealloc(m.res.Outputs[n.Label], pl.out, m.outCap)
+		m.res.Arrivals[n.Label] = appendArrPrealloc(m.res.Arrivals[n.Label],
+			exec.Arrival{Cycle: now, Val: pl.out}, m.outCap)
 	}
 	c.pendingAcks = len(pl.targets)
 	if pl.arith {
 		fi := m.fuSeq % m.cfg.FUs
 		m.fuSeq++
-		m.emit(&packet{
-			kind: pktOp, src: c.endpoint, dst: m.fuEndpoint(fi),
-			op: opPayload{opcode: uint8(n.Op), vals: pl.vals, targets: pl.targets, srcCell: int(n.ID)},
-		}, now)
+		p := m.newPacket()
+		p.kind, p.src, p.dst = pktOp, c.endpoint, m.fuEndpoint(fi)
+		p.op = opPayload{
+			opcode:  uint8(n.Op),
+			vals:    append([]value.Value(nil), pl.vals...),
+			targets: append([]target(nil), pl.targets...),
+			srcCell: int(n.ID),
+		}
+		m.emit(p, now)
 		return true
 	}
 	for _, tgt := range pl.targets {
-		m.emit(&packet{kind: pktResult, src: c.endpoint, dst: tgt.endpoint,
-			cell: tgt.cell, port: tgt.port, val: pl.out}, now)
+		p := m.newPacket()
+		p.kind, p.src, p.dst = pktResult, c.endpoint, tgt.endpoint
+		p.cell, p.port, p.val = tgt.cell, tgt.port, pl.out
+		m.emit(p, now)
 	}
 	return true
 }
@@ -768,19 +850,39 @@ func (m *machine) commitConsume(c *cell, ports []int, now int) {
 		if in.Arc == nil {
 			continue // literal operand
 		}
-		if c.inTok[p] == nil {
+		if !c.inHas[p] {
 			continue // preloaded-literal port with no token (not possible; guard)
 		}
-		c.inTok[p] = nil
-		producer := m.cells[in.Arc.From]
-		m.emit(&packet{kind: pktAck, src: c.endpoint, dst: producer.endpoint, cell: int(in.Arc.From)}, now)
+		c.inHas[p] = false
+		producer := &m.cells[in.Arc.From]
+		ack := m.newPacket()
+		ack.kind, ack.src, ack.dst = pktAck, c.endpoint, producer.endpoint
+		ack.cell = int(in.Arc.From)
+		m.emit(ack, now)
 	}
+}
+
+// appendPrealloc appends to a sink stream, sizing the buffer for the whole
+// expected stream on first use so steady-state appends never reallocate.
+func appendPrealloc(s []value.Value, v value.Value, hint int) []value.Value {
+	if s == nil && hint > 0 {
+		s = make([]value.Value, 0, hint)
+	}
+	return append(s, v)
+}
+
+func appendArrPrealloc(s []exec.Arrival, a exec.Arrival, hint int) []exec.Arrival {
+	if s == nil && hint > 0 {
+		s = make([]exec.Arrival, 0, hint)
+	}
+	return append(s, a)
 }
 
 // drainState mirrors exec's cleanliness report.
 func (m *machine) drainState() (bool, []string) {
 	var stalled []string
-	for _, c := range m.cells {
+	for i := range m.cells {
+		c := &m.cells[i]
 		n := c.node
 		switch n.Op {
 		case graph.OpSource:
@@ -792,9 +894,9 @@ func (m *machine) drainState() (bool, []string) {
 				stalled = append(stalled, fmt.Sprintf("%s: %d control values unsent", n.Name(), t-c.srcPos))
 			}
 		}
-		for p, tok := range c.inTok {
-			if tok != nil {
-				stalled = append(stalled, fmt.Sprintf("token %s stranded at %s port %d", tok, n.Name(), p))
+		for p, has := range c.inHas {
+			if has {
+				stalled = append(stalled, fmt.Sprintf("token %s stranded at %s port %d", c.inTok[p], n.Name(), p))
 			}
 		}
 	}

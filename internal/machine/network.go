@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"sort"
+
 	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
@@ -54,6 +56,9 @@ type packet struct {
 	// sentAt is the cycle the packet entered the network; delivery minus
 	// sentAt is the observed transit time, queueing included.
 	sentAt int
+	// seq is the network's send order, stamped by crossbar.send so
+	// same-cycle deliveries can be reported in send order.
+	seq int
 }
 
 // trCell is the cell a trace event about this packet should reference: the
@@ -91,44 +96,87 @@ type network interface {
 }
 
 // crossbar is the simple RN model: fixed transit delay plus one-packet-
-// per-cycle serialization at each destination endpoint.
+// per-cycle serialization at each destination endpoint. It is organized as
+// a time wheel: a packet sent at cycle t lands in the wheel slot for cycle
+// t+delay, and step drains exactly one slot into the per-destination FIFO
+// queues, delivering at most one packet per destination per cycle. With a
+// constant delay, wheel order is send order, so the per-destination queues
+// are FIFO in send order and the delivered list (sorted by send sequence)
+// matches a linear scan of an insertion-ordered in-flight list.
 type crossbar struct {
-	delay    int
-	now      int
-	inflight []*timedPacket
-	nextFree []int // per destination endpoint
-}
-
-type timedPacket struct {
-	p       *packet
-	readyAt int
+	delay  int
+	now    int
+	seq    int         // send counter, stamped onto packets
+	wheel  [][]*packet // wheel[readyAt % (delay+1)], send order within a slot
+	queues [][]*packet // per-destination arrived-but-blocked FIFOs
+	heads  []int       // queue head indexes (popped prefix, compacted lazily)
+	npend  int
+	out    []*packet // delivered-this-cycle buffer, reused across cycles
 }
 
 func newCrossbar(endpoints, delay int) *crossbar {
-	return &crossbar{delay: delay, nextFree: make([]int, endpoints)}
+	if delay < 1 {
+		delay = 1 // delay 0 and 1 behave identically (delivery is next cycle at best)
+	}
+	c := &crossbar{
+		delay:  delay,
+		wheel:  make([][]*packet, delay+1),
+		queues: make([][]*packet, endpoints),
+		heads:  make([]int, endpoints),
+	}
+	return c
 }
 
 func (c *crossbar) send(p *packet) {
-	c.inflight = append(c.inflight, &timedPacket{p: p, readyAt: c.now + c.delay})
+	p.seq = c.seq
+	c.seq++
+	slot := (c.now + c.delay) % (c.delay + 1)
+	c.wheel[slot] = append(c.wheel[slot], p)
+	c.npend++
 }
 
 func (c *crossbar) step() []*packet {
 	c.now++
-	var out []*packet
-	rest := c.inflight[:0]
-	for _, tp := range c.inflight {
-		if tp.readyAt <= c.now && c.nextFree[tp.p.dst] <= c.now {
-			c.nextFree[tp.p.dst] = c.now + 1
-			out = append(out, tp.p)
-		} else {
-			rest = append(rest, tp)
-		}
+	if c.npend == 0 {
+		return nil
 	}
-	c.inflight = rest
+	// Packets whose transit completes this cycle join their destination's
+	// delivery queue; all earlier slots have already been drained, so the
+	// queue stays ordered by send sequence.
+	slot := c.now % (c.delay + 1)
+	arrived := c.wheel[slot]
+	c.wheel[slot] = arrived[:0]
+	for _, p := range arrived {
+		c.queues[p.dst] = append(c.queues[p.dst], p)
+	}
+	out := c.out[:0]
+	for dst := range c.queues {
+		h := c.heads[dst]
+		if h >= len(c.queues[dst]) {
+			continue
+		}
+		out = append(out, c.queues[dst][h])
+		h++
+		if h == len(c.queues[dst]) {
+			c.queues[dst] = c.queues[dst][:0]
+			h = 0
+		} else if h > 64 {
+			// bound the popped prefix under sustained contention
+			n := copy(c.queues[dst], c.queues[dst][h:])
+			c.queues[dst] = c.queues[dst][:n]
+			h = 0
+		}
+		c.heads[dst] = h
+		c.npend--
+	}
+	// Restore global send order across destinations (at most one packet per
+	// destination, so this list is tiny).
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	c.out = out
 	return out
 }
 
-func (c *crossbar) pending() int { return len(c.inflight) }
+func (c *crossbar) pending() int { return c.npend }
 
 // butterfly is a log₂(N)-stage packet-switched delta network of 2×2
 // switches — the "packet switched networks" proposed for the routing

@@ -14,18 +14,18 @@
 // The pass runs before balancing: fewer cells also means fewer paths for
 // the balancer to equalize.
 //
-// Caveat (measured in experiment E17): sharing a generator or gate across
-// regions with different dynamic behaviour — e.g. a control generator
-// consumed both by a free-running forall region and by a for-iter loop
-// whose fill transient briefly stalls its consumers — couples those
-// regions through the shared cell's acknowledge discipline and can cost a
-// fraction of the maximum rate. On a balanced graph results and drainage
-// are unchanged; on an UNBALANCED graph the coupling can stall the
-// pipeline entirely (found by the differential pass harness: the values
-// produced are still a correct prefix, but the run may not drain), so
-// dedup should be followed by a balancing pass unless stalls are
-// acceptable. The pass is opt-in (Options.Dedup), matching the paper's
-// default of one generator per gate.
+// Sharing a generator or gate across regions with different dynamic
+// behaviour — e.g. a control generator consumed both by a free-running
+// forall region and by a for-iter loop whose fill transient briefly stalls
+// its consumers — couples those regions through the shared cell's
+// acknowledge discipline (measured in experiment E17). On a balanced graph
+// results and drainage are unchanged; on an UNBALANCED graph the coupling
+// can deadlock the pipeline entirely (found by the differential pass
+// harness). Dedup must therefore always be followed by a balancing pass;
+// the pass manager enforces this by appending one (with a warning) to any
+// pipeline where dedup would otherwise run last, so a deduped graph that
+// leaves compilation is always balanced and live. The pass is opt-in
+// (Options.Dedup), matching the paper's default of one generator per gate.
 package opt
 
 import (

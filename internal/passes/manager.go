@@ -41,6 +41,10 @@ type Context struct {
 	Plan *balance.Plan
 	// Deduped accumulates cells removed by common-cell elimination.
 	Deduped int
+	// Warnings collects pipeline-level diagnostics (e.g. the manager
+	// appending a balancing pass after a trailing dedup) for compile
+	// reports.
+	Warnings []string
 }
 
 // Stat is one pass execution record.
@@ -73,35 +77,62 @@ func NewManager(ps ...Pass) *Manager { return &Manager{Passes: ps} }
 // pass. A nil ctx runs with defaults (no verification, no snapshots). The
 // input graph must already be structurally valid; with ctx.VerifyEach the
 // manager checks that each pass keeps it that way.
+//
+// If common-cell elimination removed cells and no balancing pass ran
+// afterwards, the manager appends a balance pass and records a warning in
+// ctx.Warnings: dedup's sharing couples the acknowledge discipline of
+// otherwise independent regions, and on an unbalanced graph that coupling
+// can deadlock the pipeline (experiment E17), so an unbalanced deduped
+// graph is never allowed to leave the pipeline.
 func (m *Manager) Run(g *graph.Graph, ctx *Context) (*graph.Graph, error) {
 	if ctx == nil {
 		ctx = &Context{}
 	}
 	for _, p := range m.Passes {
-		stat := Stat{Name: p.Name(), CellsBefore: g.NumNodes(), ArcsBefore: g.NumArcs()}
-		start := time.Now()
-		ng, err := p.Run(g, ctx)
-		stat.Wall = time.Since(start)
+		ng, err := m.runPass(p, g, ctx)
 		if err != nil {
-			return nil, fmt.Errorf("passes: %s: %w", p.Name(), err)
+			return nil, err
 		}
-		if ng != nil {
-			g = ng
+		g = ng
+	}
+	if ctx.Deduped > 0 && !ctx.Balanced {
+		ctx.Warnings = append(ctx.Warnings,
+			"passes: dedup ran without a subsequent balancing pass; appended balance (shared cells on an unbalanced graph can stall the pipeline)")
+		ng, err := m.runPass(Balance{}, g, ctx)
+		if err != nil {
+			return nil, err
 		}
-		stat.CellsAfter = g.NumNodes()
-		stat.ArcsAfter = g.NumArcs()
-		ctx.Stats = append(ctx.Stats, stat)
-		if ctx.Snapshot != nil {
-			ctx.Snapshot(p.Name(), g)
+		g = ng
+	}
+	return g, nil
+}
+
+// runPass executes one pass with the manager's bookkeeping: timing and
+// size statistics, the snapshot hook, and post-pass verification.
+func (m *Manager) runPass(p Pass, g *graph.Graph, ctx *Context) (*graph.Graph, error) {
+	stat := Stat{Name: p.Name(), CellsBefore: g.NumNodes(), ArcsBefore: g.NumArcs()}
+	start := time.Now()
+	ng, err := p.Run(g, ctx)
+	stat.Wall = time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("passes: %s: %w", p.Name(), err)
+	}
+	if ng != nil {
+		g = ng
+	}
+	stat.CellsAfter = g.NumNodes()
+	stat.ArcsAfter = g.NumArcs()
+	ctx.Stats = append(ctx.Stats, stat)
+	if ctx.Snapshot != nil {
+		ctx.Snapshot(p.Name(), g)
+	}
+	if ctx.VerifyEach {
+		if err := g.Verify(); err != nil {
+			return nil, fmt.Errorf("passes: after %s: %w", p.Name(), err)
 		}
-		if ctx.VerifyEach {
-			if err := g.Verify(); err != nil {
+		if ctx.Balanced {
+			if err := balance.CheckBalanced(g); err != nil {
 				return nil, fmt.Errorf("passes: after %s: %w", p.Name(), err)
-			}
-			if ctx.Balanced {
-				if err := balance.CheckBalanced(g); err != nil {
-					return nil, fmt.Errorf("passes: after %s: %w", p.Name(), err)
-				}
 			}
 		}
 	}

@@ -87,6 +87,9 @@ type Result struct {
 	// PassStats records each executed compilation pass (name, wall time,
 	// graph sizes), in pipeline order.
 	PassStats []passes.Stat
+	// Warnings carries pipeline-level diagnostics from the pass manager
+	// (e.g. an auto-appended balance after a trailing dedup).
+	Warnings []string
 
 	inputLen map[string]int
 }
@@ -218,6 +221,7 @@ func Compile(c *val.Checked, opts Options) (*Result, error) {
 	res.Plan = ctx.Plan
 	res.Deduped = ctx.Deduped
 	res.PassStats = ctx.Stats
+	res.Warnings = ctx.Warnings
 
 	// Graph-rebuilding passes invalidate node identity; re-resolve the
 	// input source cells by their (unique) labels.

@@ -30,4 +30,16 @@ go test -run '^$' -fuzz 'FuzzParse$'     -fuzztime 10s ./internal/val/
 go test -run '^$' -fuzz 'FuzzParseExpr$' -fuzztime 10s ./internal/val/
 go test -run '^$' -fuzz 'FuzzUnmarshal$' -fuzztime 10s ./internal/graph/
 
+echo "== bench guard =="
+# Runs the quick benchmark suite and fails on a >20% aggregate cycles/sec
+# regression against the committed baseline; dfbench skips the comparison
+# gracefully when no baseline has been committed yet. Refresh the baseline
+# with: go run ./cmd/dfbench -quick -json BENCH_baseline.json
+go run ./cmd/dfbench -quick -json BENCH_ci.json -compare BENCH_baseline.json >/tmp/dfbench-ci.log 2>&1 || {
+    cat /tmp/dfbench-ci.log
+    exit 1
+}
+grep -E 'bench guard|skipping' /tmp/dfbench-ci.log
+rm -f BENCH_ci.json
+
 echo "CI OK"
