@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"staticpipe/internal/balance"
+	"staticpipe/internal/buildinfo"
 	"staticpipe/internal/core"
 	"staticpipe/internal/exec"
 	"staticpipe/internal/forall"
@@ -38,6 +39,7 @@ import (
 	"staticpipe/internal/machine"
 	"staticpipe/internal/progs"
 	"staticpipe/internal/recurrence"
+	"staticpipe/internal/telemetry"
 	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
@@ -50,7 +52,13 @@ var (
 	parallel = flag.Int("parallel", 0, "run N independent benchmark instances across goroutines and report throughput")
 	metricsF = flag.Bool("metrics", false, "print a per-cell metrics digest after each simulated run")
 	tracePfx = flag.String("trace", "", "write Chrome trace-event JSON per run to PREFIX-NNN-label.json")
+	httpAddr = flag.String("http", "", "serve live telemetry on this address (e.g. :9090)")
+	version  = flag.Bool("version", false, "print version and build info, then exit")
 )
+
+// registry is non-nil when -http is serving; -parallel registers each
+// instance's exec and machine runs under separate labels.
+var registry *telemetry.Registry
 
 // regressionTolerance is the cycles/sec drop -compare fails the build on.
 const regressionTolerance = 0.20
@@ -135,6 +143,19 @@ func runTracer(label string) (tr trace.Tracer, finish func()) {
 
 func main() {
 	flag.Parse()
+	if *version {
+		fmt.Println("dfbench " + buildinfo.String())
+		return
+	}
+	if *httpAddr != "" {
+		registry = telemetry.NewRegistry()
+		srv, err := telemetry.Serve(*httpAddr, registry)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
 	experiments := []struct {
 		id, title string
 		run       func(size int)
@@ -214,35 +235,56 @@ func main() {
 // parallelWorkload is one independent benchmark instance for -parallel:
 // compile the Fig 3 composed program and run it on both simulator kernels.
 // Units are not safe for concurrent runs, so each instance compiles its
-// own. Returns the simulated cycles contributed.
-func parallelWorkload(n int) int {
+// own — and each instance gets its own tracer sinks (execRun, machRun),
+// never shared across goroutines. Returns the simulated cycles contributed.
+func parallelWorkload(n int, execRun, machRun *telemetry.Run) (int, error) {
 	p := progs.Fig3(n)
 	cycles := 0
-	u, err := core.Compile(p.Source, core.Options{})
-	if err != nil {
-		fatal(err)
+	eopts := core.Options{}
+	if execRun != nil {
+		eopts.Tracer = execRun.Tracer()
+		eopts.Progress = execRun.Progress()
 	}
-	res, err := u.Run(p.Inputs)
-	if err != nil {
-		fatal(err)
+	u, err := core.Compile(p.Source, eopts)
+	if err == nil {
+		var res *core.RunResult
+		res, err = u.Run(p.Inputs)
+		if err == nil {
+			cycles += res.Exec.Cycles
+		}
 	}
-	cycles += res.Exec.Cycles
+	if execRun != nil {
+		execRun.Finish(err)
+	}
+	if err != nil {
+		return cycles, err
+	}
+
 	mu, err := core.Compile(p.Source, core.Options{})
-	if err != nil {
-		fatal(err)
+	if err == nil {
+		if err = mu.Compiled.SetInputs(p.Inputs); err == nil {
+			cfg := machine.Config{PEs: 8, FUs: 4, AMs: 4}
+			if machRun != nil {
+				cfg.Tracer = machRun.Tracer()
+				cfg.Progress = machRun.Progress()
+			}
+			var mres *machine.Result
+			mres, err = machine.Run(mu.Compiled.Graph, cfg)
+			if err == nil {
+				cycles += mres.Cycles
+			}
+		}
 	}
-	if err := mu.Compiled.SetInputs(p.Inputs); err != nil {
-		fatal(err)
+	if machRun != nil {
+		machRun.Finish(err)
 	}
-	mres, err := machine.Run(mu.Compiled.Graph, machine.Config{PEs: 8, FUs: 4, AMs: 4})
-	if err != nil {
-		fatal(err)
-	}
-	return cycles + mres.Cycles
+	return cycles, err
 }
 
 // runParallel fans N independent benchmark instances across goroutines and
-// reports per-instance and aggregate simulation throughput.
+// reports per-instance and aggregate simulation throughput. With -http each
+// instance registers two labeled telemetry runs (parI/exec, parI/machine),
+// so a live scrape shows every instance's progress separately.
 func runParallel(n int) {
 	size := 1024
 	if *quick {
@@ -252,23 +294,37 @@ func runParallel(n int) {
 	fmt.Printf("=== parallel fan-out: %d independent instances (Fig 3, n=%d, exec+machine) ===\n", n, size)
 
 	start := time.Now()
-	c1 := parallelWorkload(size)
+	c1, err := parallelWorkload(size, nil, nil)
+	if err != nil {
+		fatal(err)
+	}
 	single := time.Since(start)
 	singleRate := float64(c1) / single.Seconds()
 	fmt.Printf("  single instance: %d cycles in %.3fs (%.0f cycles/sec)\n", c1, single.Seconds(), singleRate)
 
 	cycles := make([]int, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	start = time.Now()
 	for i := range cycles {
+		var execRun, machRun *telemetry.Run
+		if registry != nil {
+			execRun = registry.NewRun(fmt.Sprintf("par%d/exec", i), "exec")
+			machRun = registry.NewRun(fmt.Sprintf("par%d/machine", i), "machine")
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cycles[i] = parallelWorkload(size)
+			cycles[i], errs[i] = parallelWorkload(size, execRun, machRun)
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			fatal(fmt.Errorf("instance %d: %w", i, err))
+		}
+	}
 	total := 0
 	for i, c := range cycles {
 		total += c
@@ -318,6 +374,12 @@ func compareBaseline(path string) bool {
 	// their rates swing wildly between identical runs; only the suite-wide
 	// TOTAL aggregate is stable enough to gate on. Per-experiment records
 	// are compared informationally.
+	type regression struct {
+		name   string
+		before float64 // baseline cycles/sec
+		after  float64 // this run's cycles/sec
+	}
+	var regressed []regression
 	compared, failed := 0, 0
 	for _, r := range records {
 		if !strings.HasPrefix(r.Metric, "cycles_per_sec") {
@@ -333,6 +395,7 @@ func compareBaseline(path string) bool {
 			compared++
 		}
 		if ratio < 1-regressionTolerance {
+			regressed = append(regressed, regression{r.Exp + "/" + r.Metric, want, r.Value})
 			if gating {
 				failed++
 				fmt.Fprintf(os.Stderr, "REGRESSION %s/%s: %.0f cycles/sec vs baseline %.0f (%.0f%%)\n",
@@ -351,8 +414,15 @@ func compareBaseline(path string) bool {
 		return true
 	}
 	if failed > 0 {
+		// Name every experiment that slowed, not just the gating aggregate:
+		// the per-experiment list is what points at the culprit.
 		fmt.Fprintf(os.Stderr, "bench guard: aggregate cycles/sec regressed >%.0f%% vs %s\n",
 			100*regressionTolerance, path)
+		fmt.Fprintf(os.Stderr, "regressed experiments (before -> after cycles/sec):\n")
+		for _, r := range regressed {
+			fmt.Fprintf(os.Stderr, "  %-28s %12.0f -> %-12.0f (%.0f%%)\n",
+				r.name, r.before, r.after, 100*r.after/r.before)
+		}
 		return false
 	}
 	fmt.Printf("bench guard: aggregate cycles/sec within %.0f%% of %s\n", 100*regressionTolerance, path)

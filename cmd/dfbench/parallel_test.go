@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"staticpipe/internal/telemetry"
+)
+
+// Parallel benchmark instances with telemetry sinks attached must be
+// race-free: every instance gets its own trace.Live and trace.Progress
+// (never shared across goroutines), and a scraper reads consistent
+// snapshots while all instances emit. Run under -race (scripts/ci.sh does)
+// to pin the audit of trace.Metrics/Ring/Multi sharing for -parallel.
+func TestParallelWorkloadWithTelemetryIsRaceFree(t *testing.T) {
+	const instances = 4
+	reg := telemetry.NewRegistry()
+
+	var wg sync.WaitGroup
+	cycles := make([]int, instances)
+	errs := make([]error, instances)
+	for i := 0; i < instances; i++ {
+		execRun := reg.NewRun(fmt.Sprintf("par%d/exec", i), "exec")
+		machRun := reg.NewRun(fmt.Sprintf("par%d/machine", i), "machine")
+		wg.Add(1)
+		go func(i int, er, mr *telemetry.Run) {
+			defer wg.Done()
+			cycles[i], errs[i] = parallelWorkload(24, er, mr)
+		}(i, execRun, machRun)
+	}
+
+	// Scrape concurrently with the emitting instances: the exported text
+	// must always be well-formed, whatever phase each instance is in.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for j := 0; j < 50; j++ {
+			var sb strings.Builder
+			telemetry.WriteMetrics(&sb, reg)
+			if !strings.Contains(sb.String(), "staticpipe_run_info") {
+				t.Error("scrape missing run_info family")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	for i := 0; i < instances; i++ {
+		if errs[i] != nil {
+			t.Fatalf("instance %d: %v", i, errs[i])
+		}
+		if cycles[i] == 0 {
+			t.Fatalf("instance %d simulated no cycles", i)
+		}
+	}
+	for _, run := range reg.Runs() {
+		in := run.Info()
+		if in.State != telemetry.StateDone {
+			t.Errorf("run %s state = %s, want done", in.Label, in.State)
+		}
+		if in.Cycle == 0 {
+			t.Errorf("run %s recorded no cycle progress", in.Label)
+		}
+		if snap := run.Tracer().Snapshot(); snap.Events == 0 {
+			t.Errorf("run %s aggregated no events", in.Label)
+		}
+	}
+}

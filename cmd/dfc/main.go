@@ -32,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"staticpipe/internal/buildinfo"
 	"staticpipe/internal/core"
 	"staticpipe/internal/forall"
 	"staticpipe/internal/foriter"
@@ -66,9 +67,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		stats     = fs.Bool("stats", false, "print per-pass compilation statistics")
 		emit      = fs.String("emit", "", "write the loadable instruction graph to this file (run it with dfsim -graph)")
 		fill      = fs.String("fill", "ramp", "input data baked into an emitted graph: ramp | sin | const | alt")
+		version   = fs.Bool("version", false, "print version and build info, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "dfc "+buildinfo.String())
+		return 0
 	}
 
 	src, err := readSource(fs.Args(), stdin)

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"staticpipe/internal/balance"
+	"staticpipe/internal/buildinfo"
 	"staticpipe/internal/core"
 	"staticpipe/internal/forall"
 	"staticpipe/internal/foriter"
@@ -32,7 +33,12 @@ import (
 func main() {
 	dir := flag.String("dir", "docs/figures", "output directory")
 	m := flag.Int("m", 6, "array extent used for the figure graphs (small keeps the drawings readable)")
+	version := flag.Bool("version", false, "print version and build info, then exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("dffigs " + buildinfo.String())
+		return
+	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fatal(err)
 	}

@@ -21,6 +21,8 @@
 //	-verify        cross-check against the reference interpreter
 //	-trace FILE    write a Chrome trace-event JSON file (Perfetto-loadable)
 //	-metrics       print per-cell/per-unit metrics after the run
+//	-http ADDR     serve live telemetry (/metrics, /runs, /healthz, pprof)
+//	-version       print version and build info, then exit
 package main
 
 import (
@@ -30,12 +32,14 @@ import (
 	"os"
 	"sort"
 
+	"staticpipe/internal/buildinfo"
 	"staticpipe/internal/core"
 	"staticpipe/internal/exec"
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
 	"staticpipe/internal/machine"
 	"staticpipe/internal/progs"
+	"staticpipe/internal/telemetry"
 	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
@@ -56,14 +60,42 @@ func main() {
 		waterfall = flag.Bool("waterfall", false, "print a cell-by-cycle firing chart (use small inputs)")
 		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON to this file")
 		metrics   = flag.Bool("metrics", false, "print per-cell/per-unit metrics after the run")
+		httpAddr  = flag.String("http", "", "serve live telemetry on this address (e.g. :9090)")
+		version   = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dfsim " + buildinfo.String())
+		return
+	}
+
+	model := "exec"
+	if *useMach {
+		model = "machine"
+	}
+	var run *telemetry.Run
+	var prog *trace.Progress
+	if *httpAddr != "" {
+		reg := telemetry.NewRegistry()
+		srv, err := telemetry.Serve(*httpAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+		label := "stdin"
+		if flag.NArg() > 0 {
+			label = flag.Arg(0)
+		}
+		run = reg.NewRun(label, model)
+		prog = run.Progress()
+	}
 
 	var tracer trace.Tracer
 	var agg *trace.Metrics
 	var chrome *trace.Chrome
 	var traceFile *os.File
-	if *metrics || *traceOut != "" {
+	if *metrics || *traceOut != "" || run != nil {
 		var multi trace.Multi
 		if *metrics {
 			agg = trace.NewMetrics()
@@ -78,9 +110,15 @@ func main() {
 			chrome = trace.NewChrome(f)
 			multi = append(multi, chrome)
 		}
+		if run != nil {
+			multi = append(multi, run.Tracer())
+		}
 		tracer = multi
 	}
 	finish := func() {
+		if run != nil {
+			run.Finish(nil)
+		}
 		if agg != nil {
 			fmt.Print(agg.Summary(12))
 		}
@@ -108,7 +146,7 @@ func main() {
 			fatal(err)
 		}
 		if *useMach {
-			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracer}
+			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracer, Progress: prog}
 			if *butterfly {
 				cfg.Network = machine.Butterfly
 			}
@@ -121,7 +159,7 @@ func main() {
 			finish()
 			return
 		}
-		res, err := exec.Run(g, exec.Options{Tracer: tracer})
+		res, err := exec.Run(g, exec.Options{Tracer: tracer, Progress: prog})
 		if err != nil {
 			fatalPartial(err, res, exec.Describe)
 		}
@@ -135,13 +173,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{NoBalance: *noBal, Tracer: tracer}
+	opts := core.Options{NoBalance: *noBal, Tracer: tracer, Progress: prog}
 	if *todd {
 		opts.ForIterScheme = foriter.Todd
 	}
 	u, err := core.Compile(src, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if run != nil {
+		run.AddWarnings(u.Compiled.Warnings...)
 	}
 
 	inputs := map[string][]value.Value{}
@@ -168,7 +209,7 @@ func main() {
 		if err := u.Compiled.SetInputs(inputs); err != nil {
 			fatal(err)
 		}
-		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracer}
+		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracer, Progress: prog}
 		if *butterfly {
 			cfg.Network = machine.Butterfly
 		}

@@ -24,6 +24,8 @@
 //	-top n         rows in the per-cell rate table (default 12; 0 = all)
 //	-events n      keep and print the last n raw events (default 0)
 //	-summary       also print the raw metrics digest
+//	-http ADDR     serve live telemetry (/metrics, /runs, /healthz, pprof)
+//	-version       print version and build info, then exit
 package main
 
 import (
@@ -32,11 +34,13 @@ import (
 	"io"
 	"os"
 
+	"staticpipe/internal/buildinfo"
 	"staticpipe/internal/core"
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
 	"staticpipe/internal/machine"
 	"staticpipe/internal/progs"
+	"staticpipe/internal/telemetry"
 	"staticpipe/internal/trace"
 	"staticpipe/internal/trace/analyze"
 	"staticpipe/internal/value"
@@ -57,8 +61,14 @@ func main() {
 		top       = flag.Int("top", 12, "rows in the per-cell rate table (0 = all)")
 		events    = flag.Int("events", 0, "keep and print the last n raw events")
 		summary   = flag.Bool("summary", false, "print the raw metrics digest too")
+		httpAddr  = flag.String("http", "", "serve live telemetry on this address (e.g. :9090)")
+		version   = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dftrace " + buildinfo.String())
+		return
+	}
 
 	src, err := readSource(flag.Args())
 	if err != nil {
@@ -69,8 +79,32 @@ func main() {
 		opts.ForIterScheme = foriter.Todd
 	}
 
+	var run *telemetry.Run
+	if *httpAddr != "" {
+		reg := telemetry.NewRegistry()
+		srv, err := telemetry.Serve(*httpAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+		label := "stdin"
+		if flag.NArg() > 0 {
+			label = flag.Arg(0)
+		}
+		model := "exec"
+		if *useMach {
+			model = "machine"
+		}
+		run = reg.NewRun(label, model)
+		opts.Progress = run.Progress()
+	}
+
 	metrics := trace.NewMetrics()
 	tracers := trace.Multi{metrics}
+	if run != nil {
+		tracers = append(tracers, run.Tracer())
+	}
 	var ring *trace.Ring
 	if *events > 0 {
 		ring = trace.NewRing(*events)
@@ -92,6 +126,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if run != nil {
+		run.AddWarnings(u.Compiled.Warnings...)
+	}
 	inputs := map[string][]value.Value{}
 	for _, in := range u.Checked.Inputs {
 		inputs[in.Name] = progs.Synth(*fill, in.Len())
@@ -103,6 +140,9 @@ func main() {
 			fatal(err)
 		}
 		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracers}
+		if run != nil {
+			cfg.Progress = run.Progress()
+		}
 		if *butterfly {
 			cfg.Network = machine.Butterfly
 		}
@@ -130,6 +170,9 @@ func main() {
 		ran = res.Exec.Graph
 	}
 
+	if run != nil {
+		run.Finish(nil)
+	}
 	analysis, err := analyze.Analyze(ran, metrics)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,75 @@
+// Package buildinfo reports what binary is running: module version, VCS
+// revision, and toolchain, read from the build metadata the Go linker
+// embeds (runtime/debug.ReadBuildInfo). Every command exposes it behind
+// -version, and the telemetry server serves the same fields on /healthz, so
+// a scraped simulation can always be matched to the exact build that
+// produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Fields returns the build metadata as flat key/value pairs: always
+// "go_version" and "module_version"; "vcs_revision", "vcs_time", and
+// "vcs_modified" when the binary was built from a VCS checkout (test
+// binaries and bare `go run` of a non-main checkout lack them).
+func Fields() map[string]string {
+	f := map[string]string{
+		"go_version":     runtime.Version(),
+		"module_version": "(devel)",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return f
+	}
+	if bi.Main.Version != "" {
+		f["module_version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			f["vcs_revision"] = s.Value
+		case "vcs.time":
+			f["vcs_time"] = s.Value
+		case "vcs.modified":
+			f["vcs_modified"] = s.Value
+		}
+	}
+	return f
+}
+
+// String renders the one-line -version output, e.g.
+//
+//	staticpipe (devel) rev 3ba3e90… (modified) go1.24.0
+func String() string {
+	f := Fields()
+	var b strings.Builder
+	fmt.Fprintf(&b, "staticpipe %s", f["module_version"])
+	if rev, ok := f["vcs_revision"]; ok {
+		short := rev
+		if len(short) > 12 {
+			short = short[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", short)
+		if f["vcs_modified"] == "true" {
+			b.WriteString(" (modified)")
+		}
+	}
+	fmt.Fprintf(&b, " %s", f["go_version"])
+	return b.String()
+}
+
+// Keys returns the field names in sorted order (stable /healthz output).
+func Keys(f map[string]string) []string {
+	ks := make([]string, 0, len(f))
+	for k := range f {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -63,6 +63,10 @@ type Options struct {
 	// Run (see internal/trace). Tracing is passive and does not change
 	// results or cycle counts.
 	Tracer trace.Tracer
+	// Progress, if non-nil, is updated live during every Run (see
+	// exec.Options.Progress) so the telemetry server can report cycle
+	// progress while the simulation is in flight.
+	Progress *trace.Progress
 }
 
 // Unit is a compiled pipe-structured program.
@@ -107,16 +111,32 @@ func Compile(src string, opts Options) (*Unit, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m, ok := opts.Tracer.(*trace.Metrics); ok && m != nil {
-		for _, s := range compiled.PassStats {
-			m.RecordPhase(trace.PhaseStat{
-				Name: s.Name, Wall: s.Wall,
-				CellsBefore: s.CellsBefore, CellsAfter: s.CellsAfter,
-				ArcsBefore: s.ArcsBefore, ArcsAfter: s.ArcsAfter,
-			})
-		}
+	for _, s := range compiled.PassStats {
+		recordPhase(opts.Tracer, trace.PhaseStat{
+			Name: s.Name, Wall: s.Wall,
+			CellsBefore: s.CellsBefore, CellsAfter: s.CellsAfter,
+			ArcsBefore: s.ArcsBefore, ArcsAfter: s.ArcsAfter,
+		})
 	}
 	return &Unit{Source: src, Checked: checked, Compiled: compiled, opts: opts}, nil
+}
+
+// phaseRecorder is the optional sink capability for compile-phase records:
+// trace.Metrics and trace.Live both implement it.
+type phaseRecorder interface{ RecordPhase(trace.PhaseStat) }
+
+// recordPhase forwards one compile-phase record to every phase-capable sink
+// reachable from t (unwrapping trace.Multi fan-outs).
+func recordPhase(t trace.Tracer, p trace.PhaseStat) {
+	switch s := t.(type) {
+	case nil:
+	case trace.Multi:
+		for _, sub := range s {
+			recordPhase(sub, p)
+		}
+	case phaseRecorder:
+		s.RecordPhase(p)
+	}
 }
 
 // PassStats returns the per-pass compilation statistics (name, wall time,
@@ -142,7 +162,9 @@ func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
 	if err := u.Compiled.SetInputs(inputs); err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(u.Compiled.Graph, exec.Options{MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer})
+	res, err := exec.Run(u.Compiled.Graph, exec.Options{
+		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
+	})
 	if err != nil {
 		if res != nil {
 			// MaxCycles exhaustion: the partial result carries the stall

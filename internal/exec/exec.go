@@ -51,6 +51,12 @@ type Options struct {
 	// stream (firings, token/ack arrivals, stall classifications). Tracing
 	// is passive: it never alters scheduling, results, or cycle counts.
 	Tracer trace.Tracer
+	// Progress, if non-nil, is updated live as the run advances (one
+	// atomic store per cycle, one add per sink arrival) so another
+	// goroutine — the telemetry server — can observe cycle progress
+	// mid-run. Like Tracer it is passive and costs one nil check when
+	// unset.
+	Progress *trace.Progress
 }
 
 // DefaultMaxCycles bounds runs when Options.MaxCycles is zero.
@@ -145,6 +151,7 @@ type sim struct {
 	outCap  int // preallocation hint for sink streams (max source length)
 	trace   func(int, *graph.Node, value.Value)
 	tr      trace.Tracer
+	prog    *trace.Progress
 
 	// candidate tracking: a cell's enabledness only changes when one of
 	// its input arcs fills or one of its output arcs drains, so only those
@@ -198,6 +205,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		arrs:     map[string][]Arrival{},
 		trace:    opt.Trace,
 		tr:       opt.Tracer,
+		prog:     opt.Progress,
 		cand:     newBitset(g.NumNodes()),
 		nextCand: newBitset(g.NumNodes()),
 	}
@@ -232,6 +240,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 	cycle := 0
 	for ; cycle < maxCycles; cycle++ {
+		if s.prog != nil {
+			s.prog.Cycle.Store(int64(cycle))
+		}
 		plans := s.collect()
 		if len(plans) == 0 {
 			break
@@ -527,6 +538,9 @@ func (s *sim) apply(cycle int, plans []firing) {
 		if f.sink {
 			s.outs[n.Label] = appendPrealloc(s.outs[n.Label], f.out, s.outCap)
 			s.arrs[n.Label] = appendArrPrealloc(s.arrs[n.Label], Arrival{Cycle: cycle, Val: f.out}, s.outCap)
+			if s.prog != nil {
+				s.prog.Arrivals.Add(1)
+			}
 		}
 		if s.trace != nil && f.produced {
 			s.trace(cycle, n, f.out)

@@ -37,10 +37,17 @@ func TestTracingZeroPerturbation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := trace.Multi{trace.NewMetrics(), trace.NewRing(64)}
-	traced, err := Run(build(), Options{Tracer: tr})
+	// Attach the full live-telemetry stack: a concurrent-snapshot sink, the
+	// plain aggregator, a ring, and a progress counter. None of it may
+	// perturb the simulation.
+	tr := trace.Multi{trace.NewLive(), trace.NewMetrics(), trace.NewRing(64)}
+	prog := &trace.Progress{}
+	traced, err := Run(build(), Options{Tracer: tr, Progress: prog})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := prog.Cycle.Load(); got != int64(traced.Cycles) {
+		t.Errorf("progress cycle = %d, want final cycle %d", got, traced.Cycles)
 	}
 
 	if plain.Cycles != traced.Cycles {

@@ -116,6 +116,12 @@ type Config struct {
 	// classifications). Tracing is passive: it never alters scheduling,
 	// results, or cycle counts.
 	Tracer trace.Tracer
+	// Progress, if non-nil, is updated live as the run advances (one
+	// atomic store per cycle, one add per sink arrival) so another
+	// goroutine — the telemetry server — can observe cycle progress
+	// mid-run. Like Tracer it is passive and costs one nil check when
+	// unset.
+	Progress *trace.Progress
 }
 
 func (c Config) withDefaults() Config {
@@ -240,6 +246,7 @@ type machine struct {
 	fuSeq     int
 	outCap    int // preallocation hint for sink streams
 	tr        trace.Tracer
+	prog      *trace.Progress
 	fired     []bool // per-cell fired-this-cycle scratch (tracing only)
 
 	// plan scratch, reused across planCell calls (copied out when a plan's
@@ -285,6 +292,7 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		cfg:       cfg,
 		g:         g,
 		tr:        cfg.Tracer,
+		prog:      cfg.Progress,
 		residents: make([][]int, cfg.PEs+cfg.FUs+cfg.AMs),
 		rrNext:    make([]int, cfg.PEs+cfg.FUs+cfg.AMs),
 		res: &Result{
@@ -341,6 +349,9 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 
 	cycle := 0
 	for ; cycle < cfg.MaxCycles; cycle++ {
+		if m.prog != nil {
+			m.prog.Cycle.Store(int64(cycle))
+		}
 		if !m.step(cycle) {
 			break
 		}
@@ -817,6 +828,9 @@ func (m *machine) fire(c *cell, now int) bool {
 		m.res.Outputs[n.Label] = appendPrealloc(m.res.Outputs[n.Label], pl.out, m.outCap)
 		m.res.Arrivals[n.Label] = appendArrPrealloc(m.res.Arrivals[n.Label],
 			exec.Arrival{Cycle: now, Val: pl.out}, m.outCap)
+		if m.prog != nil {
+			m.prog.Arrivals.Add(1)
+		}
 	}
 	c.pendingAcks = len(pl.targets)
 	if pl.arith {

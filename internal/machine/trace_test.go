@@ -18,10 +18,18 @@ func TestMachineTracingZeroPerturbation(t *testing.T) {
 			t.Fatal(err)
 		}
 		g2, _ := fig2(64)
-		tr := trace.Multi{trace.NewMetrics(), trace.NewRing(128)}
-		traced, err := Run(g2, Config{PEs: 4, AMs: 2, Network: net, Tracer: tr})
+		// Attach the full live-telemetry stack: a concurrent-snapshot sink,
+		// the plain aggregator, a ring, and a progress counter. None of it
+		// may perturb the simulation.
+		tr := trace.Multi{trace.NewLive(), trace.NewMetrics(), trace.NewRing(128)}
+		prog := &trace.Progress{}
+		traced, err := Run(g2, Config{PEs: 4, AMs: 2, Network: net, Tracer: tr, Progress: prog})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if prog.Cycle.Load() == 0 || prog.Arrivals.Load() != 64 {
+			t.Errorf("%s: progress counters cycle=%d arrivals=%d, want nonzero cycle and 64 arrivals",
+				net, prog.Cycle.Load(), prog.Arrivals.Load())
 		}
 		if plain.Cycles != traced.Cycles {
 			t.Errorf("%s: cycles %d with nil tracer, %d traced", net, plain.Cycles, traced.Cycles)

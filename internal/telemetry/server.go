@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"staticpipe/internal/buildinfo"
+)
+
+// Server is the telemetry HTTP endpoint of one process. It serves:
+//
+//	/metrics       Prometheus text format (all registered runs)
+//	/runs          JSON registry of active and completed runs
+//	/healthz       liveness + build info
+//	/debug/pprof/  the standard net/http/pprof surface
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewMux builds the telemetry handler tree for reg — exposed separately
+// from Serve so tests (and embedders) can drive it without a socket.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, reg)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		runs := reg.Runs()
+		infos := make([]RunInfo, len(runs))
+		for i, run := range runs {
+			infos[i] = run.Info()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(infos)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Status string            `json:"status"`
+			Build  map[string]string `json:"build"`
+		}{Status: "ok", Build: buildinfo.Fields()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. ":9090", "127.0.0.1:0") and serves the telemetry
+// surface for reg in a background goroutine. It returns once the listener
+// is bound, so a subsequent scrape of Addr() cannot race the bind.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 10 * time.Second}
+	s := &Server{reg: reg, ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

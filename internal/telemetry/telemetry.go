@@ -1,0 +1,169 @@
+// Package telemetry turns the passive trace layer into live, scrape-able
+// observability for running simulations: a registry of runs (each holding a
+// concurrency-safe trace.Live sink and a lock-free trace.Progress counter)
+// and an HTTP server exposing Prometheus metrics (/metrics), a JSON run
+// listing (/runs), build info (/healthz), and net/http/pprof.
+//
+// The paper's central claim is a sustained *rate* — every cell fires once
+// per two instruction times (§3) — and post-mortem metrics cannot show
+// whether a long run is still converging toward that rate or has jammed.
+// With a run registered here, a scrape during the run reads a consistent
+// snapshot of every cell's firing counters, stall-reason counters, and
+// inter-firing-interval histogram while the simulator goroutine keeps
+// emitting; two scrapes a few seconds apart show exactly which cells are
+// still advancing.
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"staticpipe/internal/trace"
+)
+
+// RunState describes a registered run's lifecycle.
+type RunState string
+
+const (
+	StateRunning RunState = "running"
+	StateDone    RunState = "done"
+	StateFailed  RunState = "failed"
+)
+
+// Run is one registered simulation: attach Tracer() to the simulator's
+// Tracer option and Progress() to its Progress option, then call Finish
+// when the run returns. All methods are safe for concurrent use.
+type Run struct {
+	id    int
+	label string
+	// model names the executable model, "exec" or "machine".
+	model string
+	live  *trace.Live
+	prog  *trace.Progress
+	start time.Time
+
+	mu       sync.Mutex
+	state    RunState
+	warnings []string
+	errMsg   string
+	endCycle int64
+	wall     time.Duration
+}
+
+// Tracer returns the run's concurrency-safe metrics sink, to be attached
+// as (or fanned into) the simulator's Tracer.
+func (r *Run) Tracer() *trace.Live { return r.live }
+
+// Progress returns the run's live progress counter, to be attached to the
+// simulator's Progress option.
+func (r *Run) Progress() *trace.Progress { return r.prog }
+
+// Label returns the run's registered label.
+func (r *Run) Label() string { return r.label }
+
+// AddWarnings records compile- or run-level warnings for /runs.
+func (r *Run) AddWarnings(ws ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.warnings = append(r.warnings, ws...)
+}
+
+// Finish marks the run complete (or failed, when err is non-nil), freezing
+// its wall time and final cycle for rate reporting.
+func (r *Run) Finish(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateRunning {
+		return
+	}
+	r.wall = time.Since(r.start)
+	r.endCycle = r.prog.Cycle.Load()
+	if err != nil {
+		r.state = StateFailed
+		r.errMsg = err.Error()
+	} else {
+		r.state = StateDone
+	}
+}
+
+// RunInfo is the /runs JSON shape: a consistent public snapshot of one
+// run's progress.
+type RunInfo struct {
+	ID       int      `json:"id"`
+	Label    string   `json:"label"`
+	Model    string   `json:"model"`
+	State    RunState `json:"state"`
+	Cycle    int64    `json:"cycle"`
+	Arrivals int64    `json:"arrivals"`
+	// ElapsedSec is wall time since registration (frozen at Finish).
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// CyclesPerSec is the run's simulation rate: live cycle over elapsed
+	// wall time while running, final cycle over total wall time after.
+	CyclesPerSec float64  `json:"cycles_per_sec"`
+	Warnings     []string `json:"warnings,omitempty"`
+	Error        string   `json:"error,omitempty"`
+}
+
+// Info snapshots the run's public state.
+func (r *Run) Info() RunInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info := RunInfo{
+		ID:       r.id,
+		Label:    r.label,
+		Model:    r.model,
+		State:    r.state,
+		Cycle:    r.prog.Cycle.Load(),
+		Arrivals: r.prog.Arrivals.Load(),
+		Warnings: append([]string(nil), r.warnings...),
+		Error:    r.errMsg,
+	}
+	elapsed := r.wall
+	if r.state == StateRunning {
+		elapsed = time.Since(r.start)
+	} else {
+		info.Cycle = r.endCycle
+	}
+	info.ElapsedSec = elapsed.Seconds()
+	if s := elapsed.Seconds(); s > 0 {
+		info.CyclesPerSec = float64(info.Cycle) / s
+	}
+	return info
+}
+
+// Registry tracks active and completed runs for one process. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	runs   []*Run
+	nextID int
+}
+
+// NewRegistry returns an empty run registry.
+func NewRegistry() *Registry { return &Registry{nextID: 1} }
+
+// NewRun registers a run under the given label and model ("exec" or
+// "machine") and returns it in the running state.
+func (g *Registry) NewRun(label, model string) *Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := &Run{
+		id:    g.nextID,
+		label: label,
+		model: model,
+		live:  trace.NewLive(),
+		prog:  &trace.Progress{},
+		start: time.Now(),
+		state: StateRunning,
+	}
+	g.nextID++
+	g.runs = append(g.runs, r)
+	return r
+}
+
+// Runs returns the registered runs in registration order.
+func (g *Registry) Runs() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Run(nil), g.runs...)
+}

@@ -20,6 +20,12 @@ type CellRate struct {
 	Name     string
 	Firings  int64
 	Achieved float64 // mean inter-firing interval, cycles
+	// P50 and P99 are inter-firing interval quantiles from the cell's
+	// log-bucketed histogram. A p99 well above the mean reveals a pipeline
+	// that mostly hits rate but takes periodic long stalls — invisible in
+	// the mean alone.
+	P50 float64
+	P99 float64
 	// Shortfall is Achieved minus the graph's predicted initiation
 	// interval; a cell more than about one cycle short of the prediction
 	// is held back by a machine resource rather than graph structure.
@@ -41,6 +47,13 @@ type UnitRate struct {
 	Occupancy float64 // instruction retirements (or FU initiations) per cycle
 	Delivery  float64 // network-port deliveries per cycle
 	Transit   float64 // mean delivered-packet transit, cycles
+	// TransitP99 is the 99th-percentile delivered-packet transit time; a
+	// tail far above the mean marks intermittent network contention.
+	TransitP99 float64
+	// ServiceP50 and ServiceP99 are function-unit service-time quantiles
+	// (queue wait + pipeline latency); zero when the endpoint is not an FU.
+	ServiceP50 float64
+	ServiceP99 float64
 }
 
 // Analysis is the bottleneck report: the analytic rate bound, the critical
@@ -101,6 +114,7 @@ func Analyze(g *graph.Graph, m *trace.Metrics) (*Analysis, error) {
 		a.Cells = append(a.Cells, CellRate{
 			ID: n.ID, Name: n.Name(), Firings: c.Firings,
 			Achieved: c.AchievedII(), Shortfall: c.AchievedII() - target,
+			P50: c.Interval.Quantile(0.50), P99: c.Interval.Quantile(0.99),
 			OperandWait: c.OperandWait, AckWait: c.AckWait, UnitBusy: c.UnitBusy,
 			Sparse: c.Firings*4 < maxFirings,
 		})
@@ -122,6 +136,8 @@ func Analyze(g *graph.Graph, m *trace.Metrics) (*Analysis, error) {
 		a.Units = append(a.Units, UnitRate{
 			ID: u, Name: m.Meta().UnitName(u),
 			Occupancy: m.Occupancy(u), Delivery: m.DeliveryOccupancy(u), Transit: m.MeanTransit(u),
+			TransitP99: um.Transit.Quantile(0.99),
+			ServiceP50: um.Service.Quantile(0.50), ServiceP99: um.Service.Quantile(0.99),
 		})
 	}
 
@@ -173,9 +189,11 @@ func (a *Analysis) Render(top int) string {
 		fmt.Fprintf(&b, "critical cycle (%d cells): %s\n", len(a.CriticalNames), strings.Join(a.CriticalNames, " -> "))
 	}
 	if len(a.Units) > 0 {
-		fmt.Fprintf(&b, "%-8s %9s %9s %9s\n", "unit", "busy", "deliver", "transit")
+		fmt.Fprintf(&b, "%-8s %9s %9s %9s %9s %9s %9s\n",
+			"unit", "busy", "deliver", "transit", "tr-p99", "svc-p50", "svc-p99")
 		for _, u := range a.Units {
-			fmt.Fprintf(&b, "%-8s %8.1f%% %8.1f%% %9.2f\n", u.Name, 100*u.Occupancy, 100*u.Delivery, u.Transit)
+			fmt.Fprintf(&b, "%-8s %8.1f%% %8.1f%% %9.2f %9.2f %9.2f %9.2f\n",
+				u.Name, 100*u.Occupancy, 100*u.Delivery, u.Transit, u.TransitP99, u.ServiceP50, u.ServiceP99)
 		}
 	}
 	n := len(a.Cells)
@@ -183,15 +201,15 @@ func (a *Analysis) Render(top int) string {
 		n = top
 	}
 	if n > 0 {
-		fmt.Fprintf(&b, "%-26s %8s %9s %10s %8s %8s %8s\n",
-			"cell", "firings", "II", "shortfall", "op-wait", "ack-wait", "busy")
+		fmt.Fprintf(&b, "%-26s %8s %9s %7s %7s %10s %8s %8s %8s\n",
+			"cell", "firings", "II", "p50", "p99", "shortfall", "op-wait", "ack-wait", "busy")
 		for _, c := range a.Cells[:n] {
 			mark := ""
 			if c.Sparse {
 				mark = " (sparse arm)"
 			}
-			fmt.Fprintf(&b, "%-26s %8d %9.3f %10.3f %8d %8d %8d%s\n",
-				c.Name, c.Firings, c.Achieved, c.Shortfall, c.OperandWait, c.AckWait, c.UnitBusy, mark)
+			fmt.Fprintf(&b, "%-26s %8d %9.3f %7.1f %7.1f %10.3f %8d %8d %8d%s\n",
+				c.Name, c.Firings, c.Achieved, c.P50, c.P99, c.Shortfall, c.OperandWait, c.AckWait, c.UnitBusy, mark)
 		}
 		if n < len(a.Cells) {
 			fmt.Fprintf(&b, "  ... %d more cells\n", len(a.Cells)-n)

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeMeta is a two-endpoint, three-cell machine-shaped Meta: cells 0 and
+// 1 live on endpoint 0, cell 2 on endpoint 1.
+func chromeMeta() Meta {
+	return Meta{
+		Cells:    []string{"mul", "add", "fifo"},
+		Units:    []string{"PE0", "FU0"},
+		CellUnit: []int{0, 0, 1},
+	}
+}
+
+// allKindEvents is one representative event per Kind, in cycle order.
+func allKindEvents() []Event {
+	return []Event{
+		{Cycle: 1, Kind: KindFiring, Cell: 0, Unit: 0, Src: -1, Dst: -1},
+		{Cycle: 1, Kind: KindStall, Cell: 1, Unit: 0, Src: -1, Dst: -1, Reason: ReasonOperandWait},
+		{Cycle: 2, Kind: KindToken, Cell: 1, Port: 1, Unit: -1, Src: -1, Dst: -1},
+		{Cycle: 2, Kind: KindAck, Cell: 0, Unit: -1, Src: -1, Dst: -1},
+		{Cycle: 3, Kind: KindSend, Cell: 2, Unit: -1, Src: 0, Dst: 1, Packet: PacketResult},
+		{Cycle: 4, Kind: KindDeliver, Cell: 2, Unit: 1, Src: 0, Dst: 1, Packet: PacketOp, Aux: 2},
+		{Cycle: 5, Kind: KindFUStart, Cell: 2, Unit: 1, Src: -1, Dst: -1, Aux: 4},
+		{Cycle: 9, Kind: KindFUDone, Cell: 2, Unit: 1, Src: -1, Dst: -1, Aux: 4},
+	}
+}
+
+// chromeEvent is the decoded shape of one trace-event JSON object.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// export runs a full Start/Emit/Close cycle and decodes the output, failing
+// the test if the export is not valid JSON.
+func export(t *testing.T, configure func(*Chrome), events []Event) []chromeEvent {
+	t.Helper()
+	var sb strings.Builder
+	c := NewChrome(&sb)
+	if configure != nil {
+		configure(c)
+	}
+	c.Start(chromeMeta())
+	for _, e := range events {
+		c.Emit(e)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out []chromeEvent
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	return out
+}
+
+func TestChromeValidJSONAllKinds(t *testing.T) {
+	out := export(t, func(c *Chrome) { c.Stalls = true }, allKindEvents())
+
+	// Metadata: one process_name per endpoint, one thread_name per cell,
+	// with tid = cell id and pid = the cell's hosting endpoint.
+	procs := map[int]string{}
+	threads := map[int]int{}
+	rest := 0
+	for _, e := range out {
+		switch e.Name {
+		case "process_name":
+			procs[e.Pid] = e.Args["name"].(string)
+		case "thread_name":
+			threads[e.Tid] = e.Pid
+		default:
+			rest++
+		}
+	}
+	if procs[0] != "PE0" || procs[1] != "FU0" {
+		t.Errorf("process names = %v", procs)
+	}
+	if threads[0] != 0 || threads[1] != 0 || threads[2] != 1 {
+		t.Errorf("thread pid mapping = %v, want cell->CellUnit", threads)
+	}
+	// All 8 kinds exported (Stalls enabled): one non-meta record each.
+	if rest != 8 {
+		t.Errorf("exported %d events, want 8 (one per Kind)", rest)
+	}
+}
+
+func TestChromePidTidMapping(t *testing.T) {
+	out := export(t, func(c *Chrome) { c.Stalls = true }, allKindEvents())
+	byCat := map[string][]chromeEvent{}
+	for _, e := range out {
+		if e.Name == "process_name" || e.Name == "thread_name" {
+			continue
+		}
+		byCat[e.Cat] = append(byCat[e.Cat], e)
+	}
+
+	// Firing: complete event on the firing cell's thread, its unit's process.
+	f := byCat["firing"][0]
+	if f.Ph != "X" || f.Pid != 0 || f.Tid != 0 || f.Name != "mul" || f.Ts != 1 {
+		t.Errorf("firing event = %+v", f)
+	}
+	// Stall: instant on the stalled cell, named by reason.
+	s := byCat["stall"][0]
+	if s.Ph != "i" || s.Tid != 1 || s.Name != "stall: operand-wait" {
+		t.Errorf("stall event = %+v", s)
+	}
+	// FU events: pid is the FU endpoint, tid the shipping cell.
+	for _, fu := range byCat["fu"] {
+		if fu.Pid != 1 || fu.Tid != 2 {
+			t.Errorf("fu event pid/tid = %d/%d, want 1/2 (%+v)", fu.Pid, fu.Tid, fu)
+		}
+	}
+	// Packets: send is attributed to the source endpoint, deliver to the
+	// destination endpoint; token/ack land on the receiving cell's process.
+	for _, p := range byCat["packet"] {
+		switch {
+		case strings.HasPrefix(p.Name, "send"):
+			if p.Pid != 0 || p.Tid != 2 {
+				t.Errorf("send pid/tid = %d/%d, want src=0/cell=2", p.Pid, p.Tid)
+			}
+		case strings.HasPrefix(p.Name, "deliver"):
+			if p.Pid != 1 || p.Tid != 2 {
+				t.Errorf("deliver pid/tid = %d/%d, want dst=1/cell=2", p.Pid, p.Tid)
+			}
+			if p.Args["transit"].(float64) != 2 {
+				t.Errorf("deliver transit = %v, want 2", p.Args["transit"])
+			}
+		case p.Name == "token":
+			if p.Pid != 0 || p.Tid != 1 {
+				t.Errorf("token pid/tid = %d/%d, want CellUnit[1]=0/cell=1", p.Pid, p.Tid)
+			}
+		case p.Name == "ack":
+			if p.Pid != 0 || p.Tid != 0 {
+				t.Errorf("ack pid/tid = %d/%d, want CellUnit[0]=0/cell=0", p.Pid, p.Tid)
+			}
+		}
+	}
+}
+
+// Toggles: stalls are omitted by default, packets can be switched off, and
+// the output stays valid JSON in every configuration — including an empty
+// run that only ever sees Start/Close.
+func TestChromeToggles(t *testing.T) {
+	out := export(t, nil, allKindEvents())
+	for _, e := range out {
+		if e.Cat == "stall" {
+			t.Errorf("stall exported with Stalls=false: %+v", e)
+		}
+	}
+	out = export(t, func(c *Chrome) { c.Packets = false }, allKindEvents())
+	for _, e := range out {
+		if e.Cat == "packet" {
+			t.Errorf("packet exported with Packets=false: %+v", e)
+		}
+	}
+	if got := export(t, nil, nil); len(got) != 5 {
+		t.Errorf("empty run exported %d records, want 5 metadata records", len(got))
+	}
+}
+
+// Meta.Format must round-trip every Kind, Reason, and PacketKind string —
+// the formatted line for a representative event of each enum value contains
+// exactly that value's String() form.
+func TestMetaFormatRoundTripsStrings(t *testing.T) {
+	m := chromeMeta()
+	kinds := []Kind{KindFiring, KindToken, KindAck, KindSend, KindDeliver,
+		KindFUStart, KindFUDone, KindStall}
+	for _, k := range kinds {
+		e := Event{Cycle: 7, Kind: k, Cell: 0, Unit: 0, Src: 0, Dst: 1}
+		line := m.Format(e)
+		if !strings.Contains(line, k.String()) {
+			t.Errorf("Format(%v) = %q, missing kind string %q", k, line, k.String())
+		}
+		if !strings.Contains(line, "c=7") {
+			t.Errorf("Format(%v) = %q, missing cycle", k, line)
+		}
+	}
+	for _, r := range []Reason{ReasonNone, ReasonOperandWait, ReasonAckWait,
+		ReasonUnitBusy, ReasonDone} {
+		line := m.Format(Event{Kind: KindStall, Cell: 1, Reason: r})
+		if !strings.Contains(line, "("+r.String()+")") {
+			t.Errorf("Format(stall %v) = %q, missing reason string %q", r, line, r.String())
+		}
+	}
+	for p := PacketKind(0); p < NumPacketKinds; p++ {
+		line := m.Format(Event{Kind: KindSend, Src: 0, Dst: 1, Cell: -1, Packet: p})
+		if !strings.Contains(line, p.String()) {
+			t.Errorf("Format(send %v) = %q, missing packet string %q", p, line, p.String())
+		}
+	}
+	// Distinct enum values must render distinct strings (a stuck String()
+	// method would silently merge series labels in /metrics).
+	seen := map[string]Kind{}
+	for _, k := range kinds {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %v and %v share the string %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// HistBuckets is the number of log₂ buckets in a Histogram. Bucket 0 holds
+// observations ≤ 1 cycle, bucket i (0 < i < HistBuckets-1) holds
+// observations in (2^(i-1), 2^i], and the final bucket is the unbounded
+// overflow. 2^(HistBuckets-2) = 4M cycles comfortably exceeds any interval a
+// bounded simulation (default MaxCycles 10M) can produce between two
+// observations of the same cell.
+const HistBuckets = 24
+
+// Histogram is a fixed-size log-bucketed distribution of int64 cycle
+// counts: inter-firing intervals, packet transit times, FU service times.
+// It is a value type — assignment deep-copies it — so the snapshotting
+// layer can clone a whole Metrics by copying slices. The log-bucket scheme
+// trades precision for O(1) memory per distribution: quantiles are exact to
+// within a factor of 2, which is enough to tell a fill transient (a few
+// long intervals) from a structural stall (every interval long).
+type Histogram struct {
+	// Count and Sum describe all observations, including overflow.
+	Count int64
+	Sum   int64
+	// Buckets[i] counts observations in bucket i (see HistBuckets).
+	Buckets [HistBuckets]int64
+}
+
+// histBucket returns the bucket index of observation v.
+func histBucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// v in (2^(b-1), 2^b] has bits.Len64(v-1) == b.
+	b := bits.Len64(uint64(v - 1))
+	if b > HistBuckets-1 {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i; the final
+// bucket is unbounded and reports math.MaxInt64.
+func BucketBound(i int) int64 {
+	if i >= HistBuckets-1 {
+		return math.MaxInt64
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one observation. Negative values are clamped to zero
+// (they cannot arise from cycle arithmetic but must not corrupt a bucket
+// index if they ever did).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[histBucket(v)]++
+}
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// containing the rank and interpolating linearly within it — the same
+// estimator Prometheus's histogram_quantile applies to the exported
+// buckets, so live scrapes and in-process reports agree. Returns 0 when
+// empty; an overflow-bucket hit reports the bucket's lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i := 0; i < HistBuckets; i++ {
+		n := float64(h.Buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(BucketBound(i - 1))
+			}
+			if i == HistBuckets-1 {
+				return lo
+			}
+			hi := float64(BucketBound(i))
+			return lo + (hi-lo)*(rank-cum)/n
+		}
+		cum += n
+	}
+	return 0
+}
+
+// String renders the non-empty buckets compactly, for debugging dumps.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f", h.Count, h.Mean())
+	for i := 0; i < HistBuckets; i++ {
+		if h.Buckets[i] == 0 {
+			continue
+		}
+		if i == HistBuckets-1 {
+			fmt.Fprintf(&b, " le=+Inf:%d", h.Buckets[i])
+		} else {
+			fmt.Fprintf(&b, " le=%d:%d", BucketBound(i), h.Buckets[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{17, 5},
+		{1 << 22, 22},
+		{1<<22 + 1, 23},
+		{math.MaxInt64, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.bucket {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Every bucketed value must be <= its bucket's upper bound and > the
+	// previous bound.
+	for v := int64(0); v < 4096; v++ {
+		b := histBucket(v)
+		if v > BucketBound(b) {
+			t.Fatalf("value %d above its bucket %d bound %d", v, b, BucketBound(b))
+		}
+		if b > 0 && v <= BucketBound(b-1) {
+			t.Fatalf("value %d belongs in bucket %d or lower, got %d", v, b-1, b)
+		}
+	}
+}
+
+func TestHistogramCountSumMean(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	vals := []int64{1, 2, 2, 4, 8, 100}
+	var sum int64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count != int64(len(vals)) || h.Sum != sum {
+		t.Fatalf("count/sum = %d/%d, want %d/%d", h.Count, h.Sum, len(vals), sum)
+	}
+	if got, want := h.Mean(), float64(sum)/float64(len(vals)); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 1000 observations of exactly 2 cycles: every quantile is in bucket
+	// le=2, so the estimate must land in (1, 2].
+	for i := 0; i < 1000; i++ {
+		h.Observe(2)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got <= 1 || got > 2 {
+			t.Errorf("Quantile(%v) = %v, want in (1, 2]", q, got)
+		}
+	}
+	// A bimodal distribution: p50 stays in the low mode, p99 reaches the
+	// high mode — exactly the fill-transient-vs-stall distinction the
+	// histograms exist for.
+	var b Histogram
+	for i := 0; i < 98; i++ {
+		b.Observe(2)
+	}
+	b.Observe(1000)
+	b.Observe(1000)
+	if p50 := b.Quantile(0.5); p50 > 2 {
+		t.Errorf("bimodal p50 = %v, want <= 2", p50)
+	}
+	if p99 := b.Quantile(0.995); p99 < 512 {
+		t.Errorf("bimodal p99.5 = %v, want >= 512 (high mode)", p99)
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := b.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v after %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64 / 2)
+	if h.Buckets[HistBuckets-1] != 1 {
+		t.Fatalf("overflow observation not in final bucket: %v", h.Buckets)
+	}
+	if got := h.Quantile(0.99); got != float64(BucketBound(HistBuckets-2)) {
+		t.Fatalf("overflow quantile = %v, want the final bucket's lower bound %v",
+			got, float64(BucketBound(HistBuckets-2)))
+	}
+	if h.String() == "empty" {
+		t.Fatal("non-empty histogram renders as empty")
+	}
+}

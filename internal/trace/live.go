@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Live is the concurrency-safe snapshotting layer over Metrics: the
+// simulator goroutine Emits into it like any other sink, while reader
+// goroutines (the telemetry HTTP server, a watchdog) call Snapshot at any
+// time and receive a consistent deep copy.
+//
+// The sinks in this package are deliberately not goroutine-safe — a
+// single-threaded simulator should not pay for locks it does not need.
+// Live is the one guarded sink: anything shared across goroutines (a
+// sink scraped while the run is in flight, or a sink that several
+// simulator instances would otherwise share) must go through it. Like all
+// tracing it is passive: it changes no scheduling, results, or cycle
+// counts, only the wall-clock cost of each emission.
+type Live struct {
+	mu sync.Mutex
+	m  *Metrics
+}
+
+// NewLive returns a guarded, snapshot-capable metrics sink.
+func NewLive() *Live { return &Live{m: NewMetrics()} }
+
+// Start forwards the run metadata to the inner Metrics.
+func (l *Live) Start(meta Meta) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m.Start(meta)
+}
+
+// Emit aggregates one event under the lock.
+func (l *Live) Emit(e Event) {
+	l.mu.Lock()
+	l.m.Emit(e)
+	l.mu.Unlock()
+}
+
+// RecordPhase forwards a compile-phase record (see Metrics.RecordPhase).
+func (l *Live) RecordPhase(p PhaseStat) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m.RecordPhase(p)
+}
+
+// Snapshot returns a consistent deep copy of the aggregates as of now. The
+// caller owns the copy; the simulator keeps emitting into the original.
+func (l *Live) Snapshot() *Metrics {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Clone()
+}
+
+// Progress is the simulators' lock-free live progress counter: one atomic
+// store per simulated cycle plus one add per sink arrival when attached,
+// nothing when nil. Unlike the event stream it is readable mid-run without
+// any lock, so a scrape can report cycle progress even when no tracer is
+// attached at all.
+type Progress struct {
+	// Cycle is the most recently simulated cycle.
+	Cycle atomic.Int64
+	// Arrivals counts values received by sinks so far.
+	Arrivals atomic.Int64
+}

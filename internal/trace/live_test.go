@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// A Live sink must tolerate one writer emitting while many readers
+// snapshot: the snapshots are internally consistent deep copies, and (under
+// -race) the interleaving is free of data races.
+func TestLiveConcurrentSnapshot(t *testing.T) {
+	l := NewLive()
+	l.Start(Meta{Cells: []string{"a", "b"}, Units: []string{"PE0", "FU0"}})
+
+	const cycles = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for c := int64(0); c < cycles; c++ {
+			l.Emit(Event{Cycle: c, Kind: KindFiring, Cell: 0, Unit: 0, Port: -1, Src: -1, Dst: -1})
+			l.Emit(Event{Cycle: c, Kind: KindFiring, Cell: 1, Unit: 0, Port: -1, Src: -1, Dst: -1})
+			l.Emit(Event{Cycle: c, Kind: KindDeliver, Cell: 0, Port: 0, Unit: -1, Src: 0, Dst: 1, Packet: PacketOp, Aux: 2})
+			l.Emit(Event{Cycle: c, Kind: KindFUStart, Cell: 0, Port: -1, Unit: 1, Src: -1, Dst: -1, Aux: 4})
+			l.Emit(Event{Cycle: c, Kind: KindStall, Cell: 1, Port: -1, Unit: -1, Src: -1, Dst: -1, Reason: ReasonOperandWait})
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for i := 0; i < 200; i++ {
+				s := l.Snapshot()
+				// Both cells see the same firing events per cycle, so a
+				// consistent snapshot never shows them more than one apart.
+				if len(s.Cells) >= 2 {
+					d := s.Cells[0].Firings - s.Cells[1].Firings
+					if d < 0 {
+						d = -d
+					}
+					if d > 1 {
+						t.Errorf("torn snapshot: firings %d vs %d", s.Cells[0].Firings, s.Cells[1].Firings)
+						return
+					}
+				}
+				// Events only grows.
+				if s.Events < last {
+					t.Errorf("snapshot went backwards: %d after %d", s.Events, last)
+					return
+				}
+				last = s.Events
+			}
+		}()
+	}
+	wg.Wait()
+
+	final := l.Snapshot()
+	if got := final.Cells[0].Firings; got != cycles {
+		t.Fatalf("cell 0 firings = %d, want %d", got, cycles)
+	}
+	if got := final.Cells[0].Interval.Count; got != cycles-1 {
+		t.Fatalf("cell 0 interval observations = %d, want %d", got, cycles-1)
+	}
+	if got := final.Units[1].Service.Count; got != cycles {
+		t.Fatalf("FU service observations = %d, want %d", got, cycles)
+	}
+}
+
+// Snapshot is a deep copy: mutating the original afterwards must not leak
+// into an earlier snapshot.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	l := NewLive()
+	l.Start(Meta{Cells: []string{"x"}})
+	l.Emit(Event{Cycle: 0, Kind: KindFiring, Cell: 0, Port: -1, Unit: -1, Src: -1, Dst: -1})
+	l.Emit(Event{Cycle: 2, Kind: KindFiring, Cell: 0, Port: -1, Unit: -1, Src: -1, Dst: -1})
+	snap := l.Snapshot()
+	for c := int64(4); c < 100; c += 2 {
+		l.Emit(Event{Cycle: c, Kind: KindFiring, Cell: 0, Port: -1, Unit: -1, Src: -1, Dst: -1})
+	}
+	if snap.Cells[0].Firings != 2 {
+		t.Fatalf("snapshot firings = %d, want 2 (frozen)", snap.Cells[0].Firings)
+	}
+	if snap.Cells[0].Interval.Count != 1 {
+		t.Fatalf("snapshot intervals = %d, want 1 (frozen)", snap.Cells[0].Interval.Count)
+	}
+	if live := l.Snapshot(); live.Cells[0].Firings != 50 {
+		t.Fatalf("live firings = %d, want 50", live.Cells[0].Firings)
+	}
+}
+
+// The FU service-time reconstruction pairs each fu-start with the oldest
+// pending operation delivery (the FU queue is FIFO): wait + latency.
+func TestFUServiceTimes(t *testing.T) {
+	m := NewMetrics()
+	m.Start(Meta{Units: []string{"PE0", "FU0"}})
+	ev := func(cycle int64, k Kind, aux int64) {
+		e := Event{Cycle: cycle, Kind: k, Cell: 0, Port: -1, Unit: -1, Src: 0, Dst: 1, Packet: PacketOp, Aux: aux}
+		if k == KindFUStart {
+			e.Unit = 1
+			e.Src, e.Dst = -1, -1
+		}
+		m.Emit(e)
+	}
+	ev(10, KindDeliver, 2) // op A delivered at 10
+	ev(11, KindDeliver, 2) // op B delivered at 11
+	ev(10, KindFUStart, 4) // A starts immediately: service = 0 wait + 4
+	ev(13, KindFUStart, 4) // B waited 2 cycles: service = 2 + 4
+	svc := m.Units[1].Service
+	if svc.Count != 2 {
+		t.Fatalf("service observations = %d, want 2", svc.Count)
+	}
+	if svc.Sum != 4+6 {
+		t.Fatalf("service sum = %d, want 10 (4 and 6 cycles)", svc.Sum)
+	}
+}

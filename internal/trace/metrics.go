@@ -31,6 +31,11 @@ type CellMetrics struct {
 	// Tokens and Acks count arrivals at (tokens) and for (acks) the cell.
 	Tokens int64
 	Acks   int64
+	// Interval is the distribution of inter-firing intervals in cycles —
+	// the per-cell shape behind the mean AchievedII, distinguishing a fill
+	// transient (a few long intervals, tight steady state) from a
+	// structural stall (every interval long).
+	Interval Histogram
 }
 
 // AchievedII returns the cell's mean inter-firing interval in cycles over
@@ -62,6 +67,14 @@ type UnitMetrics struct {
 	// TransitSum accumulates delivered packets' transit cycles; the mean
 	// transit minus the configured network delay is pure queueing.
 	TransitSum int64
+	// Transit is the distribution of delivered-packet transit times at the
+	// endpoint (queueing included), the shape behind MeanTransit.
+	Transit Histogram
+	// Service is the distribution of function-unit service times: for each
+	// operation, the cycles from its operation packet's delivery at the FU
+	// until initiation (queue wait) plus the pipeline latency. Populated
+	// only for FU endpoints.
+	Service Histogram
 }
 
 // Metrics is the per-cell/per-unit aggregating sink. It holds O(cells +
@@ -76,6 +89,41 @@ type Metrics struct {
 	// compilation happens before any run events arrive.
 	Phases    []PhaseStat
 	lastCycle int64
+	// opPend tracks, per FU endpoint, the delivery cycles of operation
+	// packets that have arrived but not yet initiated. The machine's FU
+	// initiation queue is strictly FIFO, so pairing each fu-start with the
+	// oldest pending delivery reconstructs the exact queue wait.
+	opPend []pendQueue
+}
+
+// pendQueue is a FIFO of delivery cycles with a popped-prefix head index,
+// compacted when the dead prefix dominates.
+type pendQueue struct {
+	q    []int64
+	head int
+}
+
+func (p *pendQueue) push(v int64) { p.q = append(p.q, v) }
+
+func (p *pendQueue) pop() (int64, bool) {
+	if p.head >= len(p.q) {
+		return 0, false
+	}
+	v := p.q[p.head]
+	p.head++
+	if p.head == len(p.q) {
+		p.q = p.q[:0]
+		p.head = 0
+	} else if p.head > 64 && p.head*2 > len(p.q) {
+		n := copy(p.q, p.q[p.head:])
+		p.q = p.q[:n]
+		p.head = 0
+	}
+	return v, true
+}
+
+func (p *pendQueue) clone() pendQueue {
+	return pendQueue{q: append([]int64(nil), p.q...), head: p.head}
 }
 
 // RecordPhase appends one compile-phase record. Compilers call this once
@@ -114,6 +162,37 @@ func (m *Metrics) unit(id int32) *UnitMetrics {
 	return &m.Units[id]
 }
 
+func (m *Metrics) pend(unit int32) *pendQueue {
+	for int(unit) >= len(m.opPend) {
+		m.opPend = append(m.opPend, pendQueue{})
+	}
+	return &m.opPend[unit]
+}
+
+// Clone returns a deep copy of the aggregates: the per-cell and per-unit
+// slices (histograms are value types, so the copy is complete), the packet
+// counters, and the phase records. The Meta is shared — it is written once
+// at Start and read-only afterwards. Clone is the snapshot primitive the
+// concurrency-safe Live wrapper builds on.
+func (m *Metrics) Clone() *Metrics {
+	c := &Metrics{
+		meta:      m.meta,
+		Cells:     append([]CellMetrics(nil), m.Cells...),
+		Units:     append([]UnitMetrics(nil), m.Units...),
+		Packets:   m.Packets,
+		Events:    m.Events,
+		Phases:    append([]PhaseStat(nil), m.Phases...),
+		lastCycle: m.lastCycle,
+	}
+	if len(m.opPend) > 0 {
+		c.opPend = make([]pendQueue, len(m.opPend))
+		for i := range m.opPend {
+			c.opPend[i] = m.opPend[i].clone()
+		}
+	}
+	return c
+}
+
 // Emit aggregates one event.
 func (m *Metrics) Emit(e Event) {
 	m.Events++
@@ -125,6 +204,8 @@ func (m *Metrics) Emit(e Event) {
 		c := m.cell(e.Cell)
 		if c.Firings == 0 {
 			c.First = e.Cycle
+		} else {
+			c.Interval.Observe(e.Cycle - c.Last)
 		}
 		c.Firings++
 		c.Last = e.Cycle
@@ -145,6 +226,7 @@ func (m *Metrics) Emit(e Event) {
 			u := m.unit(e.Dst)
 			u.Delivered++
 			u.TransitSum += e.Aux
+			u.Transit.Observe(e.Aux)
 		}
 		switch e.Packet {
 		case PacketResult:
@@ -155,10 +237,21 @@ func (m *Metrics) Emit(e Event) {
 			if e.Cell >= 0 {
 				m.cell(e.Cell).Acks++
 			}
+		case PacketOp:
+			if e.Dst >= 0 {
+				m.pend(e.Dst).push(e.Cycle)
+			}
 		}
 	case KindFUStart:
 		if e.Unit >= 0 {
-			m.unit(e.Unit).FUOps++
+			u := m.unit(e.Unit)
+			u.FUOps++
+			// Service time = queue wait since the operation packet's
+			// delivery plus the pipeline latency (Aux). FUs initiate in
+			// delivery order, so the oldest pending delivery is this op's.
+			if t, ok := m.pend(e.Unit).pop(); ok {
+				u.Service.Observe(e.Cycle - t + e.Aux)
+			}
 		}
 	case KindStall:
 		c := m.cell(e.Cell)

@@ -22,6 +22,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== live-telemetry race pin =="
+# The concurrent-snapshot path (readers scraping trace.Live while parallel
+# simulator goroutines emit) gets a dedicated high-iteration race pass: the
+# full-suite -race run above exercises it only once.
+go test -race -count=3 -run 'TestLiveConcurrentSnapshot|TestConcurrentScrapeDuringEmission|TestParallelWorkloadWithTelemetryIsRaceFree' \
+    ./internal/trace/ ./internal/telemetry/ ./cmd/dfbench/
+
 echo "== differential pass quick-check =="
 go test -run 'TestDifferential' ./internal/core/
 
