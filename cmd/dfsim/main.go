@@ -52,6 +52,7 @@ func main() {
 		pes       = flag.Int("pes", 4, "machine processing elements")
 		fus       = flag.Int("fus", 2, "machine function units")
 		ams       = flag.Int("ams", 2, "machine array memories")
+		workers   = flag.Int("workers", 0, "simulate with the sharded parallel engine using N workers (output is byte-identical)")
 		butterfly = flag.Bool("butterfly", false, "butterfly routing network")
 		todd      = flag.Bool("todd", false, "Todd's for-iter scheme")
 		noBal     = flag.Bool("no-balance", false, "skip balancing")
@@ -146,7 +147,7 @@ func main() {
 			fatal(err)
 		}
 		if *useMach {
-			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracer, Progress: prog}
+			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Workers: *workers, Tracer: tracer, Progress: prog}
 			if *butterfly {
 				cfg.Network = machine.Butterfly
 			}
@@ -159,7 +160,7 @@ func main() {
 			finish()
 			return
 		}
-		res, err := exec.Run(g, exec.Options{Tracer: tracer, Progress: prog})
+		res, err := exec.Run(g, exec.Options{Workers: *workers, Tracer: tracer, Progress: prog})
 		if err != nil {
 			fatalPartial(err, res, exec.Describe)
 		}
@@ -173,7 +174,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{NoBalance: *noBal, Tracer: tracer, Progress: prog}
+	opts := core.Options{NoBalance: *noBal, Workers: *workers, Tracer: tracer, Progress: prog}
 	if *todd {
 		opts.ForIterScheme = foriter.Todd
 	}
@@ -209,7 +210,7 @@ func main() {
 		if err := u.Compiled.SetInputs(inputs); err != nil {
 			fatal(err)
 		}
-		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Tracer: tracer, Progress: prog}
+		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Workers: *workers, Tracer: tracer, Progress: prog}
 		if *butterfly {
 			cfg.Network = machine.Butterfly
 		}

@@ -67,6 +67,10 @@ type Options struct {
 	// exec.Options.Progress) so the telemetry server can report cycle
 	// progress while the simulation is in flight.
 	Progress *trace.Progress
+	// Workers selects the simulator's sharded parallel engine (see
+	// exec.Options.Workers); 0 or 1 runs sequentially. Results are
+	// byte-identical for any worker count.
+	Workers int
 }
 
 // Unit is a compiled pipe-structured program.
@@ -164,6 +168,7 @@ func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
 	}
 	res, err := exec.Run(u.Compiled.Graph, exec.Options{
 		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
+		Workers: u.opts.Workers,
 	})
 	if err != nil {
 		if res != nil {

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"staticpipe/internal/exec"
+	"staticpipe/internal/machine"
+)
+
+// TestShardSweepRandom extends the differential harness across the sharded
+// parallel engine: random compiled programs run on both simulator cores at
+// every worker count in the contract sweep, and every observable field of
+// the result — outputs, arrival streams, cycle counts, drainage, stall
+// diagnostics — must be byte-identical to the sequential run of the same
+// core. This is the enforcement test for the determinism contract; if a
+// future change makes shard scheduling observable, it fails here before it
+// fails anywhere subtle.
+func TestShardSweepRandom(t *testing.T) {
+	sweep := []int{1, 2, 4, 8}
+	n := 4
+	if testing.Short() {
+		n = 2
+	}
+	rng := rand.New(rand.NewSource(1983))
+	for i := 0; i < n; i++ {
+		src, inputs := randomProgram(rng, 6+rng.Intn(6))
+		u, err := Compile(src, Options{})
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", i, err, src)
+		}
+		if err := u.Compiled.SetInputs(inputs); err != nil {
+			t.Fatal(err)
+		}
+		eseq, err := exec.Run(u.Compiled.Graph, exec.Options{})
+		if err != nil {
+			t.Fatalf("program %d exec: %v\n%s", i, err, src)
+		}
+		mcfg := machine.Config{PEs: 4, FUs: 2, AMs: 2}
+		mseq, err := machine.Run(u.Compiled.Graph, mcfg)
+		if err != nil {
+			t.Fatalf("program %d machine: %v\n%s", i, err, src)
+		}
+		for _, p := range sweep {
+			t.Run(fmt.Sprintf("prog%d/P%d", i, p), func(t *testing.T) {
+				epar, err := exec.Run(u.Compiled.Graph, exec.Options{Workers: p})
+				if err != nil {
+					t.Fatalf("exec P=%d: %v", p, err)
+				}
+				checkFields(t, "exec", p, map[string][2]any{
+					"cycles":   {eseq.Cycles, epar.Cycles},
+					"firings":  {eseq.Firings, epar.Firings},
+					"outputs":  {eseq.Outputs, epar.Outputs},
+					"arrivals": {eseq.Arrivals, epar.Arrivals},
+					"clean":    {eseq.Clean, epar.Clean},
+					"stalled":  {eseq.Stalled, epar.Stalled},
+				})
+				pcfg := mcfg
+				pcfg.Workers = p
+				mpar, err := machine.Run(u.Compiled.Graph, pcfg)
+				if err != nil {
+					t.Fatalf("machine P=%d: %v", p, err)
+				}
+				checkFields(t, "machine", p, map[string][2]any{
+					"cycles":   {mseq.Cycles, mpar.Cycles},
+					"outputs":  {mseq.Outputs, mpar.Outputs},
+					"arrivals": {mseq.Arrivals, mpar.Arrivals},
+					"packets":  {mseq.Packets, mpar.Packets},
+					"pe-busy":  {mseq.PEBusy, mpar.PEBusy},
+					"fu-busy":  {mseq.FUBusy, mpar.FUBusy},
+					"clean":    {mseq.Clean, mpar.Clean},
+					"stalled":  {mseq.Stalled, mpar.Stalled},
+				})
+			})
+		}
+	}
+}
+
+func checkFields(t *testing.T, engine string, p int, fields map[string][2]any) {
+	t.Helper()
+	for name, pair := range fields {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Errorf("%s P=%d: %s diverges from sequential\nseq: %v\npar: %v",
+				engine, p, name, pair[0], pair[1])
+		}
+	}
+}
+
+// TestShardSweepPartialResult runs the sweep on a truncated budget: even a
+// partial result interrupted by MaxCycles must be byte-identical across
+// worker counts on both cores.
+func TestShardSweepPartialResult(t *testing.T) {
+	src, inputs := randomProgram(rand.New(rand.NewSource(7)), 8)
+	u, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Compiled.SetInputs(inputs); err != nil {
+		t.Fatal(err)
+	}
+	eseq, eerr := exec.Run(u.Compiled.Graph, exec.Options{MaxCycles: 10})
+	if eerr == nil {
+		t.Fatal("exec: expected MaxCycles error")
+	}
+	mseq, merr := machine.Run(u.Compiled.Graph, machine.Config{MaxCycles: 25})
+	if merr == nil {
+		t.Fatal("machine: expected MaxCycles error")
+	}
+	for _, p := range []int{2, 4, 8} {
+		epar, err := exec.Run(u.Compiled.Graph, exec.Options{MaxCycles: 10, Workers: p})
+		if err == nil || err.Error() != eerr.Error() {
+			t.Fatalf("exec P=%d: error %v, sequential %v", p, err, eerr)
+		}
+		checkFields(t, "exec-partial", p, map[string][2]any{
+			"cycles":   {eseq.Cycles, epar.Cycles},
+			"outputs":  {eseq.Outputs, epar.Outputs},
+			"arrivals": {eseq.Arrivals, epar.Arrivals},
+			"stalled":  {eseq.Stalled, epar.Stalled},
+		})
+		mpar, err := machine.Run(u.Compiled.Graph, machine.Config{MaxCycles: 25, Workers: p})
+		if err == nil || err.Error() != merr.Error() {
+			t.Fatalf("machine P=%d: error %v, sequential %v", p, err, merr)
+		}
+		checkFields(t, "machine-partial", p, map[string][2]any{
+			"cycles":   {mseq.Cycles, mpar.Cycles},
+			"outputs":  {mseq.Outputs, mpar.Outputs},
+			"arrivals": {mseq.Arrivals, mpar.Arrivals},
+			"stalled":  {mseq.Stalled, mpar.Stalled},
+		})
+	}
+}
+
+// TestCoreWorkersOption checks the Workers plumbing through the compile-
+// and-run facade: a sharded Unit.Run returns the same outputs and timing
+// as a sequential one.
+func TestCoreWorkersOption(t *testing.T) {
+	src, inputs := randomProgram(rand.New(rand.NewSource(42)), 8)
+	useq, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rseq, err := useq.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upar, err := Compile(src, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpar, err := upar.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rseq.Outputs, rpar.Outputs) {
+		t.Error("Workers=4 run produced different outputs through core.Run")
+	}
+	if rseq.Exec.Cycles != rpar.Exec.Cycles {
+		t.Errorf("Workers=4 run took %d cycles, sequential %d", rpar.Exec.Cycles, rseq.Exec.Cycles)
+	}
+	if len(rpar.Exec.Shards) == 0 {
+		t.Error("sharded core run carries no shard stats")
+	}
+}

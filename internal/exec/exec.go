@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"staticpipe/internal/graph"
+	"staticpipe/internal/partition"
 	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
@@ -57,6 +58,13 @@ type Options struct {
 	// mid-run. Like Tracer it is passive and costs one nil check when
 	// unset.
 	Progress *trace.Progress
+	// Workers selects the sharded parallel engine: the graph is
+	// partitioned into min(Workers, cells) load-balanced shards, each
+	// owned by one goroutine, synchronized once per instruction time.
+	// 0 or 1 runs the sequential engine. Every observable outcome —
+	// outputs, arrival cycles, firings, stall diagnostics, and the trace
+	// event stream — is byte-identical for any worker count.
+	Workers int
 }
 
 // DefaultMaxCycles bounds runs when Options.MaxCycles is zero.
@@ -88,6 +96,14 @@ type Result struct {
 	// Graph is the graph actually simulated (FIFO cells expanded into
 	// identity chains).
 	Graph *graph.Graph
+	// Shards holds per-shard accounting when the run used the sharded
+	// engine (Options.Workers > 1); nil for sequential runs.
+	Shards []partition.ShardStat
+	// ShardDiag lists shard/ring diagnostics captured when a sharded run
+	// halted without quiescing, naming where work was still pending. It
+	// is separate from Stalled so stall diagnostics stay byte-identical
+	// across worker counts.
+	ShardDiag []string
 }
 
 // Output returns the stream received by the sink with the given label.
@@ -194,6 +210,14 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	maxCycles := opt.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
+	}
+	if w := opt.Workers; w > 1 {
+		if w > g.NumNodes() {
+			w = g.NumNodes()
+		}
+		if w > 1 {
+			return runSharded(g, opt, maxCycles, w)
+		}
 	}
 	s := &sim{
 		g:        g,
@@ -621,6 +645,9 @@ func Describe(r *Result) string {
 	}
 	for _, d := range r.Stalled {
 		fmt.Fprintf(&b, "stall: %s\n", d)
+	}
+	for _, d := range r.ShardDiag {
+		fmt.Fprintf(&b, "shard-diag: %s\n", d)
 	}
 	return b.String()
 }

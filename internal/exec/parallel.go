@@ -1,0 +1,493 @@
+// Sharded parallel engine for the firing-rule simulator.
+//
+// The graph is partitioned into P load-balanced shards (internal/
+// partition); one goroutine owns each shard's cells — their candidate
+// bitset and firing-plan arena — while token state (arcHas/arcVal),
+// stream positions, and firing counters stay in the shared flat slices,
+// written at disjoint indices only. Each simulated instruction time runs
+// in three phases:
+//
+//	A  every worker plans its own candidate cells against the frozen
+//	   start-of-cycle token state and publishes its plan count;
+//	   — barrier —
+//	B  every worker applies its own plans: clears consumed arcs, fills
+//	   produced arcs, appends sink arrivals. Enabledness wake-ups for
+//	   cells in other shards are pushed onto bounded SPSC rings;
+//	   — barrier —
+//	C  every worker drains its inbound rings into its next candidate
+//	   set. No barrier is needed before the next phase A: C touches only
+//	   worker-local state and rings already quiesced by the B barrier.
+//
+// Determinism rests on a property of the firing discipline: an arc
+// carrying a token at the start of a cycle can only be cleared this cycle
+// (its producer is ack-blocked), and an empty arc can only be filled (its
+// consumer lacks the operand) — so each arc slot is written by at most
+// one worker per cycle, and the cycle's outcome is a pure function of the
+// start-of-cycle state regardless of worker interleaving. Outputs,
+// arrivals, firings, and stall diagnostics are byte-identical to the
+// sequential engine for any P; when tracing is attached, worker 0 replays
+// the cycle's events between phases A and B in exactly the sequential
+// emission order.
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"staticpipe/internal/graph"
+	"staticpipe/internal/partition"
+	"staticpipe/internal/trace"
+	"staticpipe/internal/value"
+)
+
+// padCount is a per-shard counter padded to a cache line so the workers'
+// once-per-cycle plan-count stores do not false-share.
+type padCount struct {
+	v int64
+	_ [56]byte
+}
+
+// shardSim is the state shared by all workers of one sharded run.
+type shardSim struct {
+	g         *graph.Graph
+	opt       Options
+	maxCycles int
+	asn       *partition.Assignment
+	workers   []*shardWorker
+	barrier   *partition.Barrier
+	planCount []padCount
+
+	// Shared machine state; see the determinism notes above for why the
+	// concurrent disjoint-index writes are safe.
+	arcHas  []bool
+	arcVal  []value.Value
+	srcPos  []int
+	firings []int
+	outCap  int
+	// Sink streams are collected per cell ID (each sink cell is owned by
+	// exactly one worker) and keyed by label only after the join — two
+	// workers must never append into one map.
+	sinkVals [][]value.Value
+	sinkArrs [][]Arrival
+
+	// Trace-mode replay state: each entry is written only by the cell's
+	// owner in phase A and read by worker 0 between the A and B barriers.
+	traced      bool
+	planned     []int32 // cell ID -> plan index in its owner's arena, -1 when stalled
+	stallReason []trace.Reason
+
+	// Filled in by worker 0 at exit; all workers leave at the same cycle.
+	endCycle int
+	quiesced bool
+}
+
+// shardWorker is one goroutine's view of the run.
+type shardWorker struct {
+	id       int
+	ps       *shardSim
+	sm       *sim // aliases the shared slices; owns cand/nextCand and the plan arena
+	nodes    []graph.NodeID
+	outRings []*partition.Ring // by destination shard; nil when no arc crosses
+	inRings  []*partition.Ring // by source shard
+	stat     partition.ShardStat
+	live     *trace.ShardCounters
+}
+
+// runSharded mirrors the sequential Run loop across asn.P workers. The
+// graph is already FIFO-expanded and validated.
+func runSharded(g *graph.Graph, opt Options, maxCycles, nw int) (*Result, error) {
+	asn := partition.Partition(g, nw)
+	nw = asn.P
+	ps := &shardSim{
+		g:         g,
+		opt:       opt,
+		maxCycles: maxCycles,
+		asn:       asn,
+		barrier:   partition.NewBarrier(nw),
+		planCount: make([]padCount, nw),
+		arcHas:    make([]bool, g.NumArcs()),
+		arcVal:    make([]value.Value, g.NumArcs()),
+		srcPos:    make([]int, g.NumNodes()),
+		firings:   make([]int, g.NumNodes()),
+		sinkVals:  make([][]value.Value, g.NumNodes()),
+		sinkArrs:  make([][]Arrival, g.NumNodes()),
+		traced:    opt.Tracer != nil || opt.Trace != nil,
+	}
+	if opt.Tracer != nil {
+		names := make([]string, g.NumNodes())
+		for _, n := range g.Nodes() {
+			names[n.ID] = n.Name()
+		}
+		opt.Tracer.Start(trace.Meta{Cells: names})
+	}
+	for _, a := range g.Arcs() {
+		if a.Init != nil {
+			ps.arcHas[a.ID] = true
+			ps.arcVal[a.ID] = *a.Init
+		}
+	}
+	sinkSeen := map[string]bool{}
+	for _, n := range g.Nodes() {
+		switch n.Op {
+		case graph.OpSink:
+			if sinkSeen[n.Label] {
+				return nil, fmt.Errorf("exec: duplicate sink label %q", n.Label)
+			}
+			sinkSeen[n.Label] = true
+		case graph.OpSource:
+			if len(n.Stream) > ps.outCap {
+				ps.outCap = len(n.Stream)
+			}
+		}
+	}
+	if ps.traced {
+		ps.planned = make([]int32, g.NumNodes())
+		ps.stallReason = make([]trace.Reason, g.NumNodes())
+	}
+
+	// Ring capacity for the (src, dst) pair is the number of arcs joining
+	// the two shards in either direction: a cross arc contributes at most
+	// one notification per cycle (a fill wake-up to the consumer's shard
+	// XOR a drain wake-up to the producer's), and the consumer drains its
+	// rings every cycle, so a ring sized this way can never fill.
+	pairArcs := make([][]int, nw)
+	for i := range pairArcs {
+		pairArcs[i] = make([]int, nw)
+	}
+	for _, a := range g.Arcs() {
+		sf, st := asn.Shard[a.From], asn.Shard[a.To]
+		if sf != st {
+			pairArcs[sf][st]++
+			pairArcs[st][sf]++
+		}
+	}
+
+	var shardCounters []*trace.ShardCounters
+	if opt.Progress != nil {
+		shardCounters = opt.Progress.InitShards(nw)
+	}
+	ps.workers = make([]*shardWorker, nw)
+	for i := 0; i < nw; i++ {
+		w := &shardWorker{
+			id: i,
+			ps: ps,
+			sm: &sim{
+				g:        g,
+				arcHas:   ps.arcHas,
+				arcVal:   ps.arcVal,
+				srcPos:   ps.srcPos,
+				firings:  ps.firings,
+				cand:     newBitset(g.NumNodes()),
+				nextCand: newBitset(g.NumNodes()),
+			},
+			inRings:  make([]*partition.Ring, nw),
+			outRings: make([]*partition.Ring, nw),
+		}
+		if shardCounters != nil {
+			w.live = shardCounters[i]
+		}
+		ps.workers[i] = w
+	}
+	for _, n := range g.Nodes() {
+		w := ps.workers[asn.Shard[n.ID]]
+		w.nodes = append(w.nodes, n.ID)
+		w.sm.cand.set(int(n.ID))
+	}
+	for src := 0; src < nw; src++ {
+		for dst := 0; dst < nw; dst++ {
+			if src == dst || pairArcs[src][dst] == 0 {
+				continue
+			}
+			r := partition.NewRing(pairArcs[src][dst])
+			ps.workers[src].outRings[dst] = r
+			ps.workers[dst].inRings[src] = r
+		}
+	}
+	for _, w := range ps.workers {
+		w.stat.Cells = len(w.nodes)
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range ps.workers {
+		wg.Add(1)
+		go func(w *shardWorker) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Cycles:   ps.endCycle,
+		Firings:  ps.firings,
+		Outputs:  map[string][]value.Value{},
+		Arrivals: map[string][]Arrival{},
+		Graph:    g,
+		Shards:   make([]partition.ShardStat, nw),
+	}
+	for _, n := range g.Nodes() {
+		if n.Op == graph.OpSink {
+			res.Outputs[n.Label] = ps.sinkVals[n.ID]
+			res.Arrivals[n.Label] = ps.sinkArrs[n.ID]
+		}
+	}
+	for i, w := range ps.workers {
+		res.Shards[i] = w.stat
+	}
+	drain := &sim{g: g, arcHas: ps.arcHas, arcVal: ps.arcVal, srcPos: ps.srcPos}
+	res.Clean, res.Stalled = drain.drainState()
+	if !ps.quiesced {
+		res.ShardDiag = ps.diagnose()
+		return res, fmt.Errorf("exec: no quiescence after %d cycles (livelock or MaxCycles too small)", maxCycles)
+	}
+	return res, nil
+}
+
+// run is one worker's cycle loop. All workers observe the same plan-count
+// total each cycle, so they exit together at the same cycle number.
+func (w *shardWorker) run() {
+	ps := w.ps
+	for cycle := 0; ; cycle++ {
+		if cycle >= ps.maxCycles {
+			if w.id == 0 {
+				ps.endCycle = cycle
+			}
+			return
+		}
+		if w.id == 0 && ps.opt.Progress != nil {
+			ps.opt.Progress.Cycle.Store(int64(cycle))
+		}
+		// Phase A: plan against the frozen start-of-cycle state.
+		w.sm.collect()
+		if ps.traced {
+			w.classify()
+		}
+		ps.planCount[w.id].v = int64(len(w.sm.plans))
+		w.wait()
+		total := int64(0)
+		for i := range ps.planCount {
+			total += ps.planCount[i].v
+		}
+		if total == 0 {
+			if w.id == 0 {
+				ps.endCycle = cycle
+				ps.quiesced = true
+			}
+			return
+		}
+		if ps.traced {
+			if w.id == 0 {
+				ps.emitCycle(cycle)
+			}
+			w.wait()
+		}
+		// Phase B: apply own plans.
+		w.apply(cycle)
+		w.wait()
+		// Phase C: collect cross-shard wake-ups.
+		w.drainRings()
+		w.sm.cand, w.sm.nextCand = w.sm.nextCand, w.sm.cand
+		if w.live != nil {
+			w.live.Cycles.Add(1)
+			w.live.Firings.Store(w.stat.Firings)
+			w.live.RingMsgs.Store(w.stat.RingSends)
+			w.live.RingPeak.Store(w.stat.RingPeak)
+		}
+	}
+}
+
+func (w *shardWorker) wait() {
+	ns := w.ps.barrier.Wait()
+	w.stat.BarrierWait.Observe(ns)
+	if w.live != nil && ns > 0 {
+		w.live.BarrierWaitNs.Add(ns)
+	}
+}
+
+// classify records, for every owned cell, either its plan index or its
+// stall reason — the inputs worker 0 needs to replay the cycle's trace
+// events in sequential order.
+func (w *shardWorker) classify() {
+	ps := w.ps
+	for _, id := range w.nodes {
+		ps.planned[id] = -1
+	}
+	for i := range w.sm.plans {
+		ps.planned[w.sm.plans[i].node.ID] = int32(i)
+	}
+	for _, id := range w.nodes {
+		if ps.planned[id] >= 0 {
+			continue
+		}
+		// Like the sequential emitStalls this replans the cell; the extra
+		// arena entries are discarded with the cycle.
+		_, why := w.sm.plan(ps.g.Node(id))
+		ps.stallReason[id] = why
+	}
+}
+
+// emitCycle replays the cycle's trace events in the exact order the
+// sequential engine emits them: stalls in cell-ID order, then per firing
+// (ascending cell ID) the firing event, its acknowledge events, and the
+// debug callback, then all token arrivals in the same plan order.
+func (ps *shardSim) emitCycle(cycle int) {
+	tr := ps.opt.Tracer
+	arcs := ps.g.Arcs()
+	if tr != nil {
+		for _, n := range ps.g.Nodes() {
+			if ps.planned[n.ID] >= 0 {
+				continue
+			}
+			if why := ps.stallReason[n.ID]; why == trace.ReasonOperandWait || why == trace.ReasonAckWait {
+				tr.Emit(trace.Event{
+					Cycle: int64(cycle), Kind: trace.KindStall,
+					Cell: int32(n.ID), Port: -1, Unit: -1, Src: -1, Dst: -1, Reason: why,
+				})
+			}
+		}
+	}
+	for _, n := range ps.g.Nodes() {
+		pi := ps.planned[n.ID]
+		if pi < 0 {
+			continue
+		}
+		sm := ps.workers[ps.asn.Shard[n.ID]].sm
+		f := &sm.plans[pi]
+		if tr != nil {
+			tr.Emit(trace.Event{
+				Cycle: int64(cycle), Kind: trace.KindFiring,
+				Cell: int32(n.ID), Port: -1, Unit: -1, Src: -1, Dst: -1,
+			})
+			for _, aid := range sm.arcIDs[f.c0:f.c1] {
+				tr.Emit(trace.Event{
+					Cycle: int64(cycle), Kind: trace.KindAck,
+					Cell: int32(arcs[aid].From), Port: -1, Unit: -1, Src: -1, Dst: -1,
+				})
+			}
+		}
+		if ps.opt.Trace != nil && f.produced {
+			ps.opt.Trace(cycle, n, f.out)
+		}
+	}
+	if tr != nil {
+		for _, n := range ps.g.Nodes() {
+			pi := ps.planned[n.ID]
+			if pi < 0 {
+				continue
+			}
+			sm := ps.workers[ps.asn.Shard[n.ID]].sm
+			f := &sm.plans[pi]
+			for _, aid := range sm.arcIDs[f.p0:f.p1] {
+				a := arcs[aid]
+				tr.Emit(trace.Event{
+					Cycle: int64(cycle), Kind: trace.KindToken,
+					Cell: int32(a.To), Port: int32(a.ToPort), Unit: -1, Src: -1, Dst: -1,
+				})
+			}
+		}
+	}
+}
+
+// apply commits this worker's plans — the parallel half of the sequential
+// apply, with wake-ups for foreign cells routed through the rings.
+func (w *shardWorker) apply(cycle int) {
+	ps := w.ps
+	sm := w.sm
+	sm.nextCand.reset()
+	arcs := ps.g.Arcs()
+	shard := ps.asn.Shard
+	for i := range sm.plans {
+		f := &sm.plans[i]
+		n := f.node
+		sm.firings[n.ID]++
+		w.stat.Firings++
+		sm.nextCand.set(int(n.ID))
+		for _, aid := range sm.arcIDs[f.c0:f.c1] {
+			sm.arcHas[aid] = false
+			w.wake(int(arcs[aid].From), shard)
+		}
+		if f.advance {
+			sm.srcPos[n.ID]++
+		}
+		if f.sink {
+			ps.sinkVals[n.ID] = appendPrealloc(ps.sinkVals[n.ID], f.out, ps.outCap)
+			ps.sinkArrs[n.ID] = appendArrPrealloc(ps.sinkArrs[n.ID], Arrival{Cycle: cycle, Val: f.out}, ps.outCap)
+			if ps.opt.Progress != nil {
+				ps.opt.Progress.Arrivals.Add(1)
+			}
+		}
+		for _, aid := range sm.arcIDs[f.p0:f.p1] {
+			sm.arcHas[aid] = true
+			sm.arcVal[aid] = f.out
+			w.wake(int(arcs[aid].To), shard)
+		}
+	}
+}
+
+// wake marks a cell as a next-cycle candidate: directly when this worker
+// owns it, via the SPSC ring to its owner otherwise.
+func (w *shardWorker) wake(node int, shard []int) {
+	t := shard[node]
+	if t == w.id {
+		w.sm.nextCand.set(node)
+		return
+	}
+	if !w.outRings[t].Push(int32(node)) {
+		// Sized to the cross-arc count this cannot happen; fail loudly
+		// naming the ring rather than drop a wake-up and livelock.
+		panic(fmt.Sprintf("exec: notification ring shard %d -> %d overflowed (cap %d)",
+			w.id, t, w.outRings[t].Cap()))
+	}
+	w.stat.RingSends++
+}
+
+// drainRings moves inbound wake-ups into the next candidate set.
+func (w *shardWorker) drainRings() {
+	for _, r := range w.inRings {
+		if r == nil {
+			continue
+		}
+		if occ := int64(r.Len()); occ > w.stat.RingPeak {
+			w.stat.RingPeak = occ
+		}
+		for {
+			v, ok := r.Pop()
+			if !ok {
+				break
+			}
+			w.sm.nextCand.set(int(v))
+			w.stat.RingRecvs++
+		}
+	}
+}
+
+// diagnose names, per shard and per ring, where work was still pending
+// when a sharded run exhausted MaxCycles — the parallel counterpart of
+// the Stalled cell diagnostics, which stay engine-independent.
+func (ps *shardSim) diagnose() []string {
+	var d []string
+	for _, w := range ps.workers {
+		d = append(d, fmt.Sprintf(
+			"shard %d: %d cells, %d candidate cells pending at halt, %d firings, %d cross-shard notifications sent, inbound ring peak %d",
+			w.id, len(w.nodes), w.sm.cand.count(), w.stat.Firings, w.stat.RingSends, w.stat.RingPeak))
+	}
+	for _, w := range ps.workers {
+		for src, r := range w.inRings {
+			if r != nil && r.Len() > 0 {
+				d = append(d, fmt.Sprintf("ring shard %d -> %d: %d undrained notifications at halt",
+					src, w.id, r.Len()))
+			}
+		}
+	}
+	return d
+}
+
+// count returns the number of set bits (used by halt diagnostics only).
+func (b bitset) count() int {
+	n := 0
+	for _, word := range b {
+		n += bits.OnesCount64(word)
+	}
+	return n
+}

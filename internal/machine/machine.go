@@ -27,6 +27,7 @@ import (
 
 	"staticpipe/internal/exec"
 	"staticpipe/internal/graph"
+	"staticpipe/internal/partition"
 	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
@@ -122,6 +123,15 @@ type Config struct {
 	// mid-run. Like Tracer it is passive and costs one nil check when
 	// unset.
 	Progress *trace.Progress
+	// Workers selects the sharded parallel engine: machine endpoints are
+	// dealt to min(Workers, endpoints) worker goroutines that deliver,
+	// execute, and retire their own endpoints' work concurrently, with
+	// packet emission serialized once per cycle in the sequential
+	// engine's exact order. 0 or 1 runs the sequential engine. Every
+	// observable outcome — outputs, arrivals, packet counts, busy
+	// counters, stall diagnostics, and the trace event stream — is
+	// byte-identical for any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +180,13 @@ type Result struct {
 	// Graph is the graph actually simulated (FIFO cells expanded), the
 	// one trace event cell IDs refer to.
 	Graph *graph.Graph
+	// Shards holds per-shard accounting when the run used the sharded
+	// engine (Config.Workers > 1); nil for sequential runs.
+	Shards []partition.ShardStat
+	// ShardDiag lists shard diagnostics captured when a sharded run
+	// halted without quiescing. Separate from Stalled so stall
+	// diagnostics stay byte-identical across worker counts.
+	ShardDiag []string
 }
 
 // Output returns the stream received by the sink with the given label.
@@ -251,11 +268,18 @@ type machine struct {
 
 	// plan scratch, reused across planCell calls (copied out when a plan's
 	// slices must outlive the call — operation packets ship them to FUs).
+	// The sharded engine gives each worker its own planScratch.
+	sc planScratch
+
+	pktFree []*packet // recycled packets
+}
+
+// planScratch holds the reusable buffers one planCell caller owns; the
+// sequential engine has one, each shard worker has its own.
+type planScratch struct {
 	consumeBuf []int
 	valsBuf    []value.Value
 	targetBuf  []target
-
-	pktFree []*packet // recycled packets
 }
 
 // endpoint layout: [0, PEs) compute PEs, [PEs, PEs+FUs) function units,
@@ -347,6 +371,15 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		}
 	}
 
+	if w := cfg.Workers; w > 1 {
+		if n := m.numEndpoints(); w > n {
+			w = n
+		}
+		if w > 1 {
+			return m.runSharded(w)
+		}
+	}
+
 	cycle := 0
 	for ; cycle < cfg.MaxCycles; cycle++ {
 		if m.prog != nil {
@@ -356,15 +389,21 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 			break
 		}
 	}
-	m.res.Cycles = cycle
+	return m.finish(cycle)
+}
+
+// finish assembles the Result once the cycle loop (sequential or sharded)
+// has halted at endCycle.
+func (m *machine) finish(endCycle int) (*Result, error) {
+	m.res.Cycles = endCycle
 	m.res.Clean, m.res.Stalled = m.drainState()
 	for k := pktResult; k <= pktOp; k++ {
 		if m.pktCount[k] > 0 {
 			m.res.Packets[k.String()] = m.pktCount[k]
 		}
 	}
-	if cycle >= cfg.MaxCycles {
-		return m.res, fmt.Errorf("machine: no quiescence after %d cycles (livelock or MaxCycles too small)", cfg.MaxCycles)
+	if endCycle >= m.cfg.MaxCycles {
+		return m.res, fmt.Errorf("machine: no quiescence after %d cycles (livelock or MaxCycles too small)", m.cfg.MaxCycles)
 	}
 	return m.res, nil
 }
@@ -563,7 +602,7 @@ func (m *machine) emitStalls(now int) {
 			continue
 		}
 		c := &m.cells[id]
-		_, why := m.planCell(c)
+		_, why := m.planCell(c, &m.sc)
 		switch why {
 		case trace.ReasonNone:
 			why = trace.ReasonUnitBusy
@@ -677,14 +716,16 @@ type cellPlan struct {
 // planCell decides whether cell c can retire now and, if so, what its
 // effects are. The returned reason is trace.ReasonNone when the cell is
 // enabled and otherwise classifies the stall; planCell has no side
-// effects beyond the machine's scratch buffers either way.
-func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
+// effects beyond the caller's scratch buffers either way, and reads only
+// c's own state plus immutable placement, so shard workers may plan
+// different cells concurrently as long as each passes its own scratch.
+func (m *machine) planCell(c *cell, sc *planScratch) (cellPlan, trace.Reason) {
 	var pl cellPlan
 	if c.pendingAcks > 0 {
 		return pl, trace.ReasonAckWait
 	}
 	n := c.node
-	m.consumeBuf = m.consumeBuf[:0]
+	sc.consumeBuf = sc.consumeBuf[:0]
 
 	switch n.Op {
 	case graph.OpSource:
@@ -709,7 +750,7 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 		}
 		pl.out = v
 		pl.sink = true
-		m.consumeBuf = append(m.consumeBuf, 0)
+		sc.consumeBuf = append(sc.consumeBuf, 0)
 	case graph.OpMerge:
 		ctl, ok := c.operand(0)
 		if !ok {
@@ -730,9 +771,9 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 		}
 		pl.out = v
 		pl.produced = true
-		m.consumeBuf = append(m.consumeBuf, 0, sel)
+		sc.consumeBuf = append(sc.consumeBuf, 0, sel)
 		for p := 3; p < len(n.In); p++ {
-			m.consumeBuf = append(m.consumeBuf, p)
+			sc.consumeBuf = append(sc.consumeBuf, p)
 		}
 	case graph.OpTGate, graph.OpFGate:
 		ctl, okc := c.operand(0)
@@ -752,13 +793,13 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 		pl.out = data
 		pl.produced = pass
 		for p := 0; p < len(n.In); p++ {
-			m.consumeBuf = append(m.consumeBuf, p)
+			sc.consumeBuf = append(sc.consumeBuf, p)
 		}
 	default:
-		if cap(m.valsBuf) < len(n.In) {
-			m.valsBuf = make([]value.Value, len(n.In))
+		if cap(sc.valsBuf) < len(n.In) {
+			sc.valsBuf = make([]value.Value, len(n.In))
 		}
-		vals := m.valsBuf[:len(n.In)]
+		vals := sc.valsBuf[:len(n.In)]
 		for p := range n.In {
 			v, ok := c.operand(p)
 			if !ok {
@@ -767,7 +808,7 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 			vals[p] = v
 		}
 		for p := range n.In {
-			m.consumeBuf = append(m.consumeBuf, p)
+			sc.consumeBuf = append(sc.consumeBuf, p)
 		}
 		if n.Op.IsArith() {
 			pl.arith = true
@@ -777,12 +818,12 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 			pl.produced = true
 		}
 	}
-	pl.consume = m.consumeBuf
+	pl.consume = sc.consumeBuf
 
 	// Destination list (gates evaluated against held operands). Arithmetic
 	// cells always ship their destinations with the operation packet.
 	if pl.produced || pl.arith {
-		m.targetBuf = m.targetBuf[:0]
+		sc.targetBuf = sc.targetBuf[:0]
 		for _, a := range n.Out {
 			write := true
 			if a.Gate != graph.NoGate {
@@ -793,12 +834,12 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 				write = gv.AsBool()
 			}
 			if write {
-				m.targetBuf = append(m.targetBuf, target{
+				sc.targetBuf = append(sc.targetBuf, target{
 					endpoint: m.cells[a.To].endpoint, cell: int(a.To), port: a.ToPort,
 				})
 			}
 		}
-		pl.targets = m.targetBuf
+		pl.targets = sc.targetBuf
 	}
 	return pl, trace.ReasonNone
 }
@@ -808,7 +849,7 @@ func (m *machine) planCell(c *cell) (cellPlan, trace.Reason) {
 // packets); either way the cell owes acknowledgments for every destination
 // targeted.
 func (m *machine) fire(c *cell, now int) bool {
-	pl, why := m.planCell(c)
+	pl, why := m.planCell(c, &m.sc)
 	if why != trace.ReasonNone {
 		return false
 	}
@@ -937,6 +978,9 @@ func Describe(r *Result) string {
 	sort.Strings(labels)
 	for _, l := range labels {
 		fmt.Fprintf(&b, "  sink %q: %d values, II=%.3f\n", l, len(r.Outputs[l]), r.II(l))
+	}
+	for _, d := range r.ShardDiag {
+		fmt.Fprintf(&b, "shard-diag: %s\n", d)
 	}
 	return b.String()
 }

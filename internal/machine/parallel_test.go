@@ -1,0 +1,283 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"staticpipe/internal/graph"
+	"staticpipe/internal/trace"
+	"staticpipe/internal/value"
+)
+
+// machineSweep is the worker-count sweep the determinism contract promises.
+var machineSweep = []int{1, 2, 4, 8}
+
+type machineCase struct {
+	build func() *graph.Graph
+	cfg   Config
+}
+
+// parallelMachineCases cover every machine feature the sharded engine must
+// replay faithfully: FU traffic, both network models, split fabrics, gated
+// arcs, merge loops, and FIFO expansion.
+func parallelMachineCases() map[string]machineCase {
+	return map[string]machineCase{
+		"fig2-crossbar": {
+			build: func() *graph.Graph { g, _ := fig2(48); return g },
+			cfg:   Config{PEs: 4, AMs: 2},
+		},
+		"wide-butterfly": {
+			build: func() *graph.Graph { return wideGraph(6, 24) },
+			cfg:   Config{PEs: 8, FUs: 4, AMs: 3, Network: Butterfly},
+		},
+		"fig2-split-nets": {
+			build: func() *graph.Graph { g, _ := fig2(32); return g },
+			cfg:   Config{PEs: 4, FUs: 2, AMs: 2, SplitNetworks: true},
+		},
+		"loop": {
+			build: func() *graph.Graph {
+				g := graph.New()
+				a := g.AddSource("a", value.Ints([]int64{1, 2, 3, 4, 5}))
+				add := g.Add(graph.OpAdd, "acc")
+				merge := g.Add(graph.OpMerge, "m")
+				g.Connect(g.AddCtl("mctl", graph.Pattern{Prefix: []bool{false}, Body: []bool{true}, Repeat: 5}), merge, 0)
+				g.Connect(a, add, 0)
+				g.Connect(add, merge, 1)
+				g.SetLiteral(merge, 2, value.I(0))
+				gp := g.AddGate(merge)
+				g.Connect(g.AddCtl("fbctl", graph.Pattern{Body: []bool{true}, Repeat: 5, Suffix: []bool{false}}), merge, gp)
+				fb := g.ConnectGated(merge, gp, add, 1)
+				fb.Feedback = true
+				g.Connect(merge, g.AddSink("x"), 0)
+				return g
+			},
+			cfg: Config{PEs: 2},
+		},
+		"gated-fifo": {
+			build: func() *graph.Graph {
+				g := graph.New()
+				n := 12
+				vals := make([]float64, n)
+				for i := range vals {
+					vals[i] = float64(i)
+				}
+				src := g.AddSource("C", value.Reals(vals))
+				ctl := g.AddCtl("sel", graph.Pattern{Prefix: []bool{false}, Body: []bool{true}, Repeat: n - 2, Suffix: []bool{false}})
+				gate := g.Add(graph.OpTGate, "sel")
+				f := g.AddFIFO("buf", 3)
+				g.Connect(ctl, gate, 0)
+				g.Connect(src, gate, 1)
+				g.Connect(gate, f, 0)
+				g.Connect(f, g.AddSink("out"), 0)
+				return g
+			},
+			cfg: Config{PEs: 3, AMs: 2},
+		},
+	}
+}
+
+func requireSameMachineResult(t *testing.T, name string, p int, seq, par *Result) {
+	t.Helper()
+	if seq.Cycles != par.Cycles {
+		t.Errorf("%s P=%d: cycles %d, sequential %d", name, p, par.Cycles, seq.Cycles)
+	}
+	if !reflect.DeepEqual(seq.Outputs, par.Outputs) {
+		t.Errorf("%s P=%d: outputs diverge", name, p)
+	}
+	if !reflect.DeepEqual(seq.Arrivals, par.Arrivals) {
+		t.Errorf("%s P=%d: arrival streams diverge", name, p)
+	}
+	if !reflect.DeepEqual(seq.Packets, par.Packets) || seq.TotalPackets != par.TotalPackets || seq.AMPackets != par.AMPackets {
+		t.Errorf("%s P=%d: packet statistics diverge: %v/%d/%d vs %v/%d/%d", name, p,
+			par.Packets, par.TotalPackets, par.AMPackets, seq.Packets, seq.TotalPackets, seq.AMPackets)
+	}
+	if !reflect.DeepEqual(seq.PEBusy, par.PEBusy) || !reflect.DeepEqual(seq.FUBusy, par.FUBusy) {
+		t.Errorf("%s P=%d: busy counters diverge: PE %v vs %v, FU %v vs %v", name, p,
+			par.PEBusy, seq.PEBusy, par.FUBusy, seq.FUBusy)
+	}
+	if seq.Clean != par.Clean {
+		t.Errorf("%s P=%d: clean %v, sequential %v", name, p, par.Clean, seq.Clean)
+	}
+	if !reflect.DeepEqual(seq.Stalled, par.Stalled) {
+		t.Errorf("%s P=%d: stall diagnostics diverge\nseq: %v\npar: %v", name, p, seq.Stalled, par.Stalled)
+	}
+}
+
+// TestMachineShardedMatchesSequential pins the machine half of the
+// determinism contract: every observable Result field — including packet
+// counts and per-unit busy counters — is byte-identical for any worker
+// count.
+func TestMachineShardedMatchesSequential(t *testing.T) {
+	for name, tc := range parallelMachineCases() {
+		seq, err := Run(tc.build(), tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		for _, p := range machineSweep {
+			cfg := tc.cfg
+			cfg.Workers = p
+			par, err := Run(tc.build(), cfg)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", name, p, err)
+			}
+			requireSameMachineResult(t, name, p, seq, par)
+			if p > 1 {
+				if len(par.Shards) == 0 {
+					t.Fatalf("%s P=%d: no shard stats on a sharded run", name, p)
+				}
+				cells, firings := 0, int64(0)
+				for _, s := range par.Shards {
+					cells += s.Cells
+					firings += s.Firings
+				}
+				if cells != par.Graph.NumNodes() {
+					t.Errorf("%s P=%d: shard stats cover %d cells, graph has %d",
+						name, p, cells, par.Graph.NumNodes())
+				}
+				if firings == 0 {
+					t.Errorf("%s P=%d: shards report zero retirements", name, p)
+				}
+			}
+		}
+	}
+}
+
+// machRecorder keeps the verbatim event stream for byte-level comparison.
+type machRecorder struct {
+	meta   trace.Meta
+	events []trace.Event
+}
+
+func (r *machRecorder) Start(m trace.Meta) { r.meta = m }
+func (r *machRecorder) Emit(e trace.Event) { r.events = append(r.events, e) }
+
+// TestMachineShardedTraceByteIdentical pins the merge replay: the machine
+// trace stream (deliveries, FU activity, firings, sends, stalls) of a
+// sharded run must equal the sequential one event for event.
+func TestMachineShardedTraceByteIdentical(t *testing.T) {
+	for name, tc := range parallelMachineCases() {
+		var seqRec machRecorder
+		cfg := tc.cfg
+		cfg.Tracer = &seqRec
+		if _, err := Run(tc.build(), cfg); err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		for _, p := range []int{2, 4} {
+			var parRec machRecorder
+			pcfg := tc.cfg
+			pcfg.Tracer = &parRec
+			pcfg.Workers = p
+			if _, err := Run(tc.build(), pcfg); err != nil {
+				t.Fatalf("%s P=%d: %v", name, p, err)
+			}
+			if !reflect.DeepEqual(seqRec.meta, parRec.meta) {
+				t.Errorf("%s P=%d: trace metadata diverges", name, p)
+			}
+			if !reflect.DeepEqual(seqRec.events, parRec.events) {
+				t.Errorf("%s P=%d: event streams diverge (%d vs %d events)",
+					name, p, len(seqRec.events), len(parRec.events))
+				for i := range seqRec.events {
+					if i >= len(parRec.events) || seqRec.events[i] != parRec.events[i] {
+						t.Errorf("  first divergence at event %d: seq=%+v", i, seqRec.events[i])
+						if i < len(parRec.events) {
+							t.Errorf("  par=%+v", parRec.events[i])
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMachineShardedPartialResult pins the MaxCycles path: partial results
+// stay byte-identical, the error matches, and the sharded run names the
+// shards with work pending.
+func TestMachineShardedPartialResult(t *testing.T) {
+	tc := parallelMachineCases()["fig2-crossbar"]
+	cfg := tc.cfg
+	cfg.MaxCycles = 40
+	seq, seqErr := Run(tc.build(), cfg)
+	if seqErr == nil {
+		t.Fatal("sequential run unexpectedly quiesced in 40 cycles")
+	}
+	for _, p := range []int{2, 4} {
+		pcfg := cfg
+		pcfg.Workers = p
+		par, parErr := Run(tc.build(), pcfg)
+		if parErr == nil {
+			t.Fatalf("P=%d: run unexpectedly quiesced", p)
+		}
+		if seqErr.Error() != parErr.Error() {
+			t.Errorf("P=%d: error %q, sequential %q", p, parErr, seqErr)
+		}
+		requireSameMachineResult(t, "partial", p, seq, par)
+		if len(par.ShardDiag) == 0 {
+			t.Fatalf("P=%d: partial sharded result carries no shard diagnostics", p)
+		}
+		joined := strings.Join(par.ShardDiag, "\n")
+		if !strings.Contains(joined, "shard 0:") || !strings.Contains(joined, "pending at halt") {
+			t.Errorf("P=%d: shard diagnostics don't name shards: %q", p, joined)
+		}
+		if !strings.Contains(Describe(par), "shard-diag:") {
+			t.Errorf("P=%d: Describe omits the shard diagnostics", p)
+		}
+	}
+}
+
+// TestMachineShardedWithLiveTelemetry attaches the concurrent telemetry
+// stack to a sharded machine run and checks per-shard counters are live.
+func TestMachineShardedWithLiveTelemetry(t *testing.T) {
+	tc := parallelMachineCases()["wide-butterfly"]
+	seq, err := Run(tc.build(), tc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &trace.Progress{}
+	cfg := tc.cfg
+	cfg.Workers = 4
+	cfg.Tracer = trace.NewLive()
+	cfg.Progress = prog
+	par, err := Run(tc.build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameMachineResult(t, "telemetry", 4, seq, par)
+	shards := prog.Shards()
+	if len(shards) != 4 {
+		t.Fatalf("progress exposes %d shard counter blocks, want 4", len(shards))
+	}
+	var fired, wantFired int64
+	for _, sc := range shards {
+		fired += sc.Firings.Load()
+		if sc.Cycles.Load() == 0 {
+			t.Error("a shard reported zero completed cycles")
+		}
+	}
+	for _, s := range par.Shards {
+		wantFired += s.Firings
+	}
+	if fired != wantFired {
+		t.Errorf("live firing counters sum to %d, want %d", fired, wantFired)
+	}
+	if got := prog.Cycle.Load(); int(got) != par.Cycles && int(got) != par.Cycles-1 {
+		t.Errorf("progress cycle %d out of range for a %d-cycle run", got, par.Cycles)
+	}
+}
+
+// TestMachineShardedWorkerClamp: more workers than endpoints must degrade
+// gracefully without changing results.
+func TestMachineShardedWorkerClamp(t *testing.T) {
+	g1, _ := fig2(16)
+	seq, err := Run(g1, Config{PEs: 1, FUs: 1, AMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := fig2(16)
+	par, err := Run(g2, Config{PEs: 1, FUs: 1, AMs: 1, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameMachineResult(t, "clamp", 16, seq, par)
+}

@@ -1,0 +1,41 @@
+package partition
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Barrier is the reusable per-instruction-time rendezvous of the sharded
+// engines: every worker calls Wait at the end of a phase and no worker
+// proceeds until all have arrived. It is a sense-reversing spin barrier —
+// the last arriver flips the phase word, releasing the spinners — because
+// the engines cross it twice per simulated cycle and a channel or
+// sync.Cond round trip would dominate small cycles. Spinners yield the
+// processor on every probe so the barrier also works (slowly but
+// correctly) when GOMAXPROCS is below the worker count.
+type Barrier struct {
+	n     int32
+	count atomic.Int32
+	phase atomic.Uint32
+}
+
+// NewBarrier returns a barrier for n workers.
+func NewBarrier(n int) *Barrier { return &Barrier{n: int32(n)} }
+
+// Wait blocks until all n workers have called it, and returns the
+// nanoseconds this caller spent spinning (0 for the last arriver, which
+// measures nothing).
+func (b *Barrier) Wait() int64 {
+	p := b.phase.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.phase.Add(1)
+		return 0
+	}
+	start := time.Now()
+	for b.phase.Load() == p {
+		runtime.Gosched()
+	}
+	return time.Since(start).Nanoseconds()
+}

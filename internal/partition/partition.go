@@ -1,0 +1,223 @@
+// Package partition splits one instruction graph across P simulation
+// shards. The sharded engines in internal/exec and internal/machine give
+// each worker goroutine ownership of one shard's cells and exchange
+// cross-shard token/acknowledge notifications over bounded SPSC rings,
+// synchronizing once per instruction time — so a good partition is one
+// whose shards carry equal firing load and whose cut (the number of arcs
+// crossing shards) is small.
+//
+// The partitioner works in two deterministic steps:
+//
+//  1. Order the cells by a depth-first traversal of the forward
+//     (non-feedback) arcs, rooted at the graph's entry cells in ID
+//     order. Contiguous chunks of that order become the initial shards:
+//     a DFS follows each pipeline downstream before starting the next,
+//     so stages that feed each other land in the same shard — exactly
+//     the spatial partitioning a streaming task graph wants.
+//  2. Refine shard boundaries with a few Kernighan–Lin-style passes:
+//     a cell moves to the shard holding the majority of its neighbours
+//     when that strictly reduces the cut and keeps every shard within
+//     the balance tolerance.
+//
+// Both steps are pure functions of the graph and P — no randomness, no
+// map iteration — so every run of every worker count sees the same
+// assignment, which the deterministic-replay contract of the sharded
+// engines depends on.
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"staticpipe/internal/graph"
+	"staticpipe/internal/trace"
+)
+
+// Assignment maps every cell of a graph to one of P shards.
+type Assignment struct {
+	// P is the effective shard count (≤ the requested count when the
+	// graph has fewer cells than workers).
+	P int
+	// Shard[id] is the shard owning cell id.
+	Shard []int
+	// Size[s] is the number of cells in shard s.
+	Size []int
+	// CrossArcs is the number of arcs whose producer and consumer live
+	// in different shards — the cut the refinement minimizes.
+	CrossArcs int
+}
+
+// refinePasses bounds the boundary-refinement sweeps. The initial
+// topological chunking is already close; two sweeps recover almost all of
+// the remaining gain and keep partitioning O(passes · (N + A)).
+const refinePasses = 2
+
+// balanceSlack is the fraction by which a shard may exceed the ideal
+// ⌈N/P⌉ size during refinement. Load balance dominates barrier wait time,
+// so the tolerance is tight.
+const balanceSlack = 0.05
+
+// Partition assigns the cells of g to min(p, NumNodes) shards.
+func Partition(g *graph.Graph, p int) *Assignment {
+	n := g.NumNodes()
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	a := &Assignment{P: p, Shard: make([]int, n), Size: make([]int, p)}
+	if n == 0 {
+		return a
+	}
+
+	order := dfsOrder(g)
+	for i, id := range order {
+		s := i * p / n
+		a.Shard[id] = s
+		a.Size[s]++
+	}
+	if p > 1 {
+		a.refine(g)
+	}
+	a.CrossArcs = 0
+	for _, arc := range g.Arcs() {
+		if a.Shard[arc.From] != a.Shard[arc.To] {
+			a.CrossArcs++
+		}
+	}
+	return a
+}
+
+// dfsOrder returns the cell IDs in iterative depth-first preorder over
+// the non-feedback arcs, rooted at the zero-in-degree cells in ascending
+// ID order (then any cells a declared-feedback-free traversal missed, in
+// ID order). The order need not be topological — chunking only needs
+// downstream locality — but it is a pure function of the graph.
+func dfsOrder(g *graph.Graph) []graph.NodeID {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for _, arc := range g.Arcs() {
+		if !arc.Feedback {
+			indeg[arc.To]++
+		}
+	}
+	order := make([]graph.NodeID, 0, n)
+	seen := make([]bool, n)
+	var stack []graph.NodeID
+	visit := func(root graph.NodeID) {
+		if seen[root] {
+			return
+		}
+		stack = append(stack[:0], root)
+		seen[root] = true
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, id)
+			out := g.Node(id).Out
+			// Push in reverse so the first destination is explored first.
+			for i := len(out) - 1; i >= 0; i-- {
+				arc := out[i]
+				if !arc.Feedback && !seen[arc.To] {
+					seen[arc.To] = true
+					stack = append(stack, arc.To)
+				}
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			visit(graph.NodeID(id))
+		}
+	}
+	for id := 0; id < n; id++ {
+		visit(graph.NodeID(id))
+	}
+	return order
+}
+
+// refine runs KL-style boundary sweeps: move a cell to the neighbouring
+// shard with the largest connectivity gain when the move strictly reduces
+// the cut and both shards stay within the balance tolerance.
+func (a *Assignment) refine(g *graph.Graph) {
+	n := len(a.Shard)
+	maxSize := (n + a.P - 1) / a.P
+	if slack := int(float64(maxSize) * balanceSlack); slack > 0 {
+		maxSize += slack
+	}
+	deg := make([]int, a.P) // scratch: neighbour count per shard
+	for pass := 0; pass < refinePasses; pass++ {
+		moved := false
+		for id := 0; id < n; id++ {
+			cur := a.Shard[id]
+			if a.Size[cur] <= 1 {
+				continue
+			}
+			node := g.Node(graph.NodeID(id))
+			for i := range deg {
+				deg[i] = 0
+			}
+			for _, arc := range node.Out {
+				deg[a.Shard[arc.To]]++
+			}
+			for _, in := range node.In {
+				if in.Arc != nil {
+					deg[a.Shard[in.Arc.From]]++
+				}
+			}
+			best, bestGain := cur, 0
+			for s := 0; s < a.P; s++ {
+				if s == cur || a.Size[s] >= maxSize {
+					continue
+				}
+				if gain := deg[s] - deg[cur]; gain > bestGain {
+					best, bestGain = s, gain
+				}
+			}
+			if best != cur {
+				a.Shard[id] = best
+				a.Size[cur]--
+				a.Size[best]++
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// ShardStat is the per-shard accounting one sharded run returns: how much
+// work the shard did and how much time it spent waiting on its peers. The
+// barrier-wait histogram is in nanoseconds.
+type ShardStat struct {
+	// Cells is the number of instruction cells (exec) or machine
+	// endpoints (machine) the shard owns.
+	Cells int
+	// Firings counts cell firings retired by this shard.
+	Firings int64
+	// RingSends / RingRecvs count cross-shard token/acknowledge
+	// notifications this shard pushed to peers / drained from its
+	// inbound rings.
+	RingSends int64
+	RingRecvs int64
+	// RingPeak is the highest occupancy observed on any of the shard's
+	// inbound rings.
+	RingPeak int64
+	// BarrierWait is the distribution of nanoseconds this shard's worker
+	// spent spinning at the per-instruction-time barriers.
+	BarrierWait trace.Histogram
+}
+
+// Summary renders one line per shard, for dfsim -metrics and dfbench.
+func Summary(stats []ShardStat) string {
+	var b strings.Builder
+	for i := range stats {
+		s := &stats[i]
+		fmt.Fprintf(&b, "shard %d: cells=%d firings=%d ring sends=%d recvs=%d peak=%d barrier p50=%.0fns p99=%.0fns\n",
+			i, s.Cells, s.Firings, s.RingSends, s.RingRecvs, s.RingPeak,
+			s.BarrierWait.Quantile(0.50), s.BarrierWait.Quantile(0.99))
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package partition
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"staticpipe/internal/graph"
+	"staticpipe/internal/value"
+)
+
+// chainGraph builds w independent source→(d×ID)→sink pipelines.
+func chainGraph(w, d int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < w; i++ {
+		src := g.AddSource("in", []value.Value{value.I(1)})
+		prev := src
+		for j := 0; j < d; j++ {
+			id := g.Add(graph.OpID, "")
+			g.Connect(prev, id, 0)
+			prev = id
+		}
+		sink := g.AddSink("out")
+		g.Connect(prev, sink, 0)
+	}
+	return g
+}
+
+func TestPartitionCoversAndBalances(t *testing.T) {
+	g := chainGraph(8, 14) // 128 cells
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		a := Partition(g, p)
+		if a.P != p {
+			t.Fatalf("P=%d: got effective P %d", p, a.P)
+		}
+		counted := make([]int, p)
+		for id, s := range a.Shard {
+			if s < 0 || s >= p {
+				t.Fatalf("P=%d: cell %d assigned to shard %d", p, id, s)
+			}
+			counted[s]++
+		}
+		if !reflect.DeepEqual(counted, a.Size) {
+			t.Fatalf("P=%d: Size %v does not match assignment %v", p, a.Size, counted)
+		}
+		ideal := g.NumNodes() / p
+		for s, sz := range a.Size {
+			if sz < ideal-ideal/2 || sz > ideal+ideal/2+1 {
+				t.Fatalf("P=%d: shard %d badly unbalanced: %d cells (ideal %d)", p, s, sz, ideal)
+			}
+		}
+	}
+}
+
+func TestPartitionKeepsChainsTogether(t *testing.T) {
+	// 4 chains, 4 shards: the topological chunking should assign each
+	// chain almost entirely to one shard, so the cut stays near zero.
+	g := chainGraph(4, 30)
+	a := Partition(g, 4)
+	if a.CrossArcs > 8 {
+		t.Fatalf("cut too large for independent chains: %d cross arcs", a.CrossArcs)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := chainGraph(5, 9)
+	a := Partition(g, 4)
+	for i := 0; i < 5; i++ {
+		b := Partition(g, 4)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("partition not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPartitionClampsWorkers(t *testing.T) {
+	g := graph.New()
+	src := g.AddSource("in", []value.Value{value.I(1)})
+	sink := g.AddSink("out")
+	g.Connect(src, sink, 0)
+	a := Partition(g, 8)
+	if a.P != 2 {
+		t.Fatalf("expected P clamped to 2 cells, got %d", a.P)
+	}
+	empty := Partition(graph.New(), 4)
+	if empty.P != 1 || len(empty.Shard) != 0 {
+		t.Fatalf("empty graph: got P=%d shards=%v", empty.P, empty.Shard)
+	}
+}
+
+func TestRingPushPopWraps(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 4 {
+		t.Fatalf("capacity not rounded to power of two: %d", r.Cap())
+	}
+	for round := 0; round < 10; round++ { // exercise index wrap-around
+		for i := int32(0); i < 4; i++ {
+			if !r.Push(i) {
+				t.Fatalf("push %d failed at occupancy %d", i, r.Len())
+			}
+		}
+		if r.Push(99) {
+			t.Fatal("push succeeded on a full ring")
+		}
+		for i := int32(0); i < 4; i++ {
+			v, ok := r.Pop()
+			if !ok || v != i {
+				t.Fatalf("pop got (%d,%v), want (%d,true)", v, ok, i)
+			}
+		}
+		if _, ok := r.Pop(); ok {
+			t.Fatal("pop succeeded on an empty ring")
+		}
+	}
+	if r.Pushes() != 40 || r.Peak() != 4 {
+		t.Fatalf("stats: pushes=%d peak=%d", r.Pushes(), r.Peak())
+	}
+}
+
+func TestRingSPSCConcurrent(t *testing.T) {
+	const n = 10000
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int32(0); i < n; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched() // full: let the consumer drain
+			}
+		}
+	}()
+	for want := int32(0); want < n; {
+		if v, ok := r.Pop(); ok {
+			if v != want {
+				t.Errorf("out of order: got %d want %d", v, want)
+				break
+			}
+			want++
+		} else {
+			runtime.Gosched() // empty: let the producer fill
+		}
+	}
+	wg.Wait()
+}
+
+func TestBarrierReleasesAllWorkers(t *testing.T) {
+	const workers, rounds = 4, 200
+	b := NewBarrier(workers)
+	var mu sync.Mutex
+	seen := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				mu.Lock()
+				seen[w]++
+				mine := seen[w]
+				for _, s := range seen {
+					// No worker may be a full round ahead before the
+					// barrier releases the slowest.
+					if s < mine-1 || s > mine+1 {
+						t.Errorf("round skew: %v", seen)
+					}
+				}
+				mu.Unlock()
+				b.Wait()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

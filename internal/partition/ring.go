@@ -1,0 +1,79 @@
+package partition
+
+import "sync/atomic"
+
+// Ring is a bounded single-producer single-consumer queue of cell IDs,
+// the cross-shard token/acknowledge notification channel of the sharded
+// engines. Exactly one worker pushes and exactly one worker pops; the
+// atomic head/tail loads and stores give the pair release/acquire
+// ordering, so the buffered element is visible before the index that
+// publishes it.
+//
+// Capacity is sized by the caller to the number of arcs crossing the
+// (producer, consumer) shard pair: each cross arc contributes at most one
+// notification per instruction time, and the consumer drains its rings
+// every instruction time, so a correctly sized ring can never fill. Push
+// reports false instead of overwriting when that invariant is broken,
+// letting the engine fail loudly with a shard/ring diagnostic.
+type Ring struct {
+	buf  []int32
+	mask int64
+	head atomic.Int64 // next index to pop (consumer-owned)
+	tail atomic.Int64 // next index to push (producer-owned)
+
+	// pushes and peak are producer-side statistics, read only after the
+	// workers join.
+	pushes int64
+	peak   int64
+}
+
+// NewRing returns a ring holding at least capacity elements (rounded up
+// to a power of two, minimum 2).
+func NewRing(capacity int) *Ring {
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	return &Ring{buf: make([]int32, size), mask: int64(size - 1)}
+}
+
+// Cap returns the ring's true capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Push appends v; it reports false when the ring is full.
+func (r *Ring) Push(v int32) bool {
+	tail := r.tail.Load()
+	occ := tail - r.head.Load()
+	if occ >= int64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	r.pushes++
+	if occ+1 > r.peak {
+		r.peak = occ + 1
+	}
+	return true
+}
+
+// Pop removes and returns the oldest element, reporting false when empty.
+func (r *Ring) Pop() (int32, bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return 0, false
+	}
+	v := r.buf[head&r.mask]
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns the current occupancy as seen by the consumer.
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Pushes returns the total elements ever pushed. Producer-side; call
+// after the producing worker has joined.
+func (r *Ring) Pushes() int64 { return r.pushes }
+
+// Peak returns the highest occupancy observed at push time. Producer-
+// side; call after the producing worker has joined.
+func (r *Ring) Peak() int64 { return r.peak }

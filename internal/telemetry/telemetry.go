@@ -131,16 +131,74 @@ func (r *Run) Info() RunInfo {
 	return info
 }
 
-// Registry tracks active and completed runs for one process. The zero
-// value is not usable; call NewRegistry.
+// finished reports whether the run has left the running state.
+func (r *Run) finished() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state != StateRunning
+}
+
+// DefaultKeepFinished is how many finished runs a registry retains by
+// default. Long-lived processes register a run per simulation; without a
+// bound the registry (and every /metrics scrape, which walks it) would
+// grow without limit.
+const DefaultKeepFinished = 64
+
+// Registry tracks active and completed runs for one process. Finished runs
+// are kept in a bounded ring — the most recent KeepFinished stay visible
+// to /runs and /metrics, older ones are evicted as new runs register.
+// Running runs are never evicted. The zero value is not usable; call
+// NewRegistry.
 type Registry struct {
 	mu     sync.Mutex
 	runs   []*Run
 	nextID int
+	keep   int
 }
 
-// NewRegistry returns an empty run registry.
-func NewRegistry() *Registry { return &Registry{nextID: 1} }
+// NewRegistry returns an empty run registry retaining DefaultKeepFinished
+// finished runs.
+func NewRegistry() *Registry { return &Registry{nextID: 1, keep: DefaultKeepFinished} }
+
+// KeepFinished reconfigures the finished-run retention bound and applies
+// it immediately; n < 0 retains everything. Returns g for chaining.
+func (g *Registry) KeepFinished(n int) *Registry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.keep = n
+	g.prune()
+	return g
+}
+
+// prune evicts the oldest finished runs beyond the retention bound. The
+// caller holds g.mu.
+func (g *Registry) prune() {
+	if g.keep < 0 {
+		return
+	}
+	finished := 0
+	for _, r := range g.runs {
+		if r.finished() {
+			finished++
+		}
+	}
+	evict := finished - g.keep
+	if evict <= 0 {
+		return
+	}
+	kept := g.runs[:0]
+	for _, r := range g.runs {
+		if evict > 0 && r.finished() {
+			evict--
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := len(kept); i < len(g.runs); i++ {
+		g.runs[i] = nil // release evicted runs to the collector
+	}
+	g.runs = kept
+}
 
 // NewRun registers a run under the given label and model ("exec" or
 // "machine") and returns it in the running state.
@@ -158,12 +216,16 @@ func (g *Registry) NewRun(label, model string) *Run {
 	}
 	g.nextID++
 	g.runs = append(g.runs, r)
+	g.prune()
 	return r
 }
 
-// Runs returns the registered runs in registration order.
+// Runs returns the registered runs in registration order, applying the
+// retention bound first so a scrape never walks more than the running runs
+// plus the KeepFinished most recent finished ones.
 func (g *Registry) Runs() []*Run {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.prune()
 	return append([]*Run(nil), g.runs...)
 }

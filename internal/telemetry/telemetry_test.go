@@ -279,3 +279,94 @@ func TestServeAndLabelEscaping(t *testing.T) {
 		t.Errorf("escaped label %s not found in scrape", want)
 	}
 }
+
+// TestRegistryBoundsFinishedRuns pins the retention ring: finished runs
+// beyond the KeepFinished bound are evicted oldest-first as new runs
+// register, while running runs are never evicted regardless of age.
+func TestRegistryBoundsFinishedRuns(t *testing.T) {
+	reg := NewRegistry().KeepFinished(3)
+	pinned := reg.NewRun("pinned", "exec") // stays running throughout
+	for i := 0; i < 10; i++ {
+		r := reg.NewRun("batch-"+strconv.Itoa(i), "exec")
+		r.Finish(nil)
+	}
+	runs := reg.Runs()
+	if len(runs) != 4 {
+		t.Fatalf("registry holds %d runs, want 4 (1 running + 3 finished)", len(runs))
+	}
+	if runs[0] != pinned {
+		t.Error("the running run was evicted")
+	}
+	labels := make([]string, 0, 3)
+	for _, r := range runs[1:] {
+		labels = append(labels, r.Label())
+	}
+	want := []string{"batch-7", "batch-8", "batch-9"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("retained finished runs %v, want %v (newest kept)", labels, want)
+		}
+	}
+	// Tightening the bound prunes immediately.
+	reg.KeepFinished(1)
+	if got := len(reg.Runs()); got != 2 {
+		t.Errorf("after KeepFinished(1): %d runs, want 2", got)
+	}
+	// Negative disables eviction.
+	reg.KeepFinished(-1)
+	for i := 0; i < 5; i++ {
+		reg.NewRun("keep-"+strconv.Itoa(i), "exec").Finish(nil)
+	}
+	if got := len(reg.Runs()); got != 7 {
+		t.Errorf("with retention disabled: %d runs, want 7", got)
+	}
+}
+
+// TestDefaultRetentionBound checks the default registry keeps
+// DefaultKeepFinished finished runs.
+func TestDefaultRetentionBound(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < DefaultKeepFinished+20; i++ {
+		reg.NewRun("r"+strconv.Itoa(i), "exec").Finish(nil)
+	}
+	if got := len(reg.Runs()); got != DefaultKeepFinished {
+		t.Errorf("default registry holds %d finished runs, want %d", got, DefaultKeepFinished)
+	}
+}
+
+// TestShardMetricFamilies scrapes a run whose Progress carries per-shard
+// counters and checks the staticpipe_shard_* families are published with
+// one series per shard; a sequential run publishes none.
+func TestShardMetricFamilies(t *testing.T) {
+	reg := NewRegistry()
+	seq := reg.NewRun("seq", "exec")
+	seq.Tracer().Start(startMeta())
+	par := reg.NewRun("par", "exec")
+	par.Tracer().Start(startMeta())
+	shards := par.Progress().InitShards(2)
+	shards[0].Cycles.Store(100)
+	shards[0].Firings.Store(40)
+	shards[0].RingMsgs.Store(7)
+	shards[0].RingPeak.Store(3)
+	shards[0].BarrierWaitNs.Store(12345)
+	shards[1].Cycles.Store(100)
+	shards[1].Firings.Store(60)
+
+	var b strings.Builder
+	WriteMetrics(&b, reg)
+	out := b.String()
+	for _, want := range []string{
+		`staticpipe_shard_cycles_total{run="par",shard="0"} 100`,
+		`staticpipe_shard_firings_total{run="par",shard="1"} 60`,
+		`staticpipe_shard_ring_msgs_total{run="par",shard="0"} 7`,
+		`staticpipe_shard_ring_peak{run="par",shard="0"} 3`,
+		`staticpipe_shard_barrier_wait_ns_total{run="par",shard="0"} 12345`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if strings.Contains(out, `run="seq",shard=`) {
+		t.Error("sequential run published shard series")
+	}
+}

@@ -110,3 +110,87 @@ func TestHistogramOverflowBucket(t *testing.T) {
 		t.Fatal("non-empty histogram renders as empty")
 	}
 }
+
+// TestHistogramQuantileInterpolation pins the estimator to its formula:
+// within the bucket containing the rank, the estimate is
+// lo + (hi-lo)*(rank-cum)/n with rank = q*Count. These exact values are the
+// contract shared with Prometheus's histogram_quantile over the exported
+// buckets; any change to the interpolation shows up here first.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// Single populated bucket: 4 observations of 8, all in bucket 3 with
+	// bounds (4, 8]. rank = 4q, cum = 0, n = 4 → estimate 4 + 4*(4q/4).
+	var h Histogram
+	for i := 0; i < 4; i++ {
+		h.Observe(8)
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 4}, {0.25, 5}, {0.5, 6}, {0.75, 7}, {1, 8},
+	} {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Two buckets: 2 observations in bucket 0 (bounds [0, 1]), 2 in bucket 2
+	// (bounds (2, 4]). q=0.75 → rank 3, lands in the second populated bucket
+	// with cum=2, n=2: 2 + 2*(3-2)/2 = 3.
+	var b Histogram
+	b.Observe(1)
+	b.Observe(1)
+	b.Observe(4)
+	b.Observe(4)
+	if got := b.Quantile(0.75); math.Abs(got-3) > 1e-12 {
+		t.Errorf("two-bucket Quantile(0.75) = %v, want 3", got)
+	}
+	// q=0.5 → rank 2, satisfied exactly at the end of bucket 0: 0 + 1*(2-0)/2 = 1.
+	if got := b.Quantile(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("two-bucket Quantile(0.5) = %v, want 1", got)
+	}
+}
+
+// TestHistogramQuantileClamping covers the argument and observation edges:
+// out-of-range q clamps to [0, 1], and negative observations clamp to zero
+// (bucket 0) rather than corrupting a bucket index.
+func TestHistogramQuantileClamping(t *testing.T) {
+	var h Histogram
+	h.Observe(-100)
+	h.Observe(-1)
+	if h.Buckets[0] != 2 {
+		t.Fatalf("negative observations not clamped into bucket 0: %v", h.Buckets)
+	}
+	if h.Sum != 0 {
+		t.Fatalf("negative observations leaked into Sum: %d", h.Sum)
+	}
+	if got := h.Quantile(-0.5); got != h.Quantile(0) {
+		t.Errorf("Quantile(-0.5) = %v, want the q=0 value %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want the q=1 value %v", got, h.Quantile(1))
+	}
+	// Bucket 0's interpolation runs over [0, 1]: with every observation
+	// there, q=1 reports at most the bucket bound.
+	if got := h.Quantile(1); got < 0 || got > 1 {
+		t.Errorf("all-zero Quantile(1) = %v, want in [0, 1]", got)
+	}
+}
+
+// TestHistogramBoundaryValues checks observations sitting exactly on bucket
+// bounds: 2^k goes in the bucket whose inclusive upper bound it is, and
+// 2^k+1 starts the next one — so the quantile of a boundary-valued
+// distribution never exceeds the value itself.
+func TestHistogramBoundaryValues(t *testing.T) {
+	for k := uint(1); k < 12; k++ {
+		v := int64(1) << k
+		var h Histogram
+		h.Observe(v)
+		if got := histBucket(v); BucketBound(got) != v {
+			t.Errorf("histBucket(%d) = %d with bound %d, want the bucket bounded by the value",
+				v, got, BucketBound(got))
+		}
+		if got := h.Quantile(1); got > float64(v) {
+			t.Errorf("Quantile(1) of {%d} = %v, exceeds the observation", v, got)
+		}
+		if got := h.Quantile(1); got <= float64(v)/2 {
+			t.Errorf("Quantile(1) of {%d} = %v, at or below the bucket's lower bound", v, got)
+		}
+	}
+}
