@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -71,6 +72,12 @@ type Options struct {
 	// exec.Options.Workers); 0 or 1 runs sequentially. Results are
 	// byte-identical for any worker count.
 	Workers int
+	// Ctx, if non-nil, cancels in-flight Runs early (see exec.Options.Ctx:
+	// polled every exec.CancelCadence cycles, zero perturbation when the
+	// context never fires). A canceled Run returns the partial RunResult —
+	// whatever each output produced so far, Exec.Canceled set — together
+	// with the error.
+	Ctx context.Context
 }
 
 // Unit is a compiled pipe-structured program.
@@ -147,6 +154,28 @@ func recordPhase(t trace.Tracer, p trace.PhaseStat) {
 // graph sizes) in pipeline order.
 func (u *Unit) PassStats() []passes.Stat { return u.Compiled.PassStats }
 
+// Bind attaches per-run execution state — cancellation context, live
+// progress counter, sharded-engine worker count, cycle bound — overriding
+// the compile-time Options for subsequent Runs. The service layer compiles
+// a unit at admission but only learns its runtime attachments (the job's
+// context, the registered telemetry run's counters) when a worker picks the
+// job up; Bind is that late-binding point. Units run one job at a time, so
+// rebinding between runs is safe; zero values keep the compile-time choice.
+func (u *Unit) Bind(ctx context.Context, prog *trace.Progress, workers, maxCycles int) {
+	if ctx != nil {
+		u.opts.Ctx = ctx
+	}
+	if prog != nil {
+		u.opts.Progress = prog
+	}
+	if workers > 0 {
+		u.opts.Workers = workers
+	}
+	if maxCycles > 0 {
+		u.opts.MaxCycles = maxCycles
+	}
+}
+
 // RunResult holds a machine-level run's outcome.
 type RunResult struct {
 	// Outputs holds each output array (with its declared index range).
@@ -168,13 +197,19 @@ func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
 	}
 	res, err := exec.Run(u.Compiled.Graph, exec.Options{
 		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
-		Workers: u.opts.Workers,
+		Workers: u.opts.Workers, Ctx: u.opts.Ctx,
 	})
 	if err != nil {
 		if res != nil {
-			// MaxCycles exhaustion: the partial result carries the stall
-			// diagnostics, which are exactly what the caller needs to see.
-			return nil, fmt.Errorf("%w\n%s", err, exec.Describe(res))
+			// MaxCycles exhaustion or cancellation: return the partial
+			// RunResult — each output's elements produced so far — so a
+			// canceled run still hands its caller the work already done,
+			// with the stall diagnostics in the wrapped error text.
+			partial := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: res}
+			for name, rng := range u.Compiled.Outputs {
+				partial.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: res.Output(name), Lo2: rng.Lo2, W: rng.Width()}
+			}
+			return partial, fmt.Errorf("%w\n%s", err, exec.Describe(res))
 		}
 		return nil, err
 	}

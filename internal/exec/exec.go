@@ -26,6 +26,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -65,7 +66,20 @@ type Options struct {
 	// outputs, arrival cycles, firings, stall diagnostics, and the trace
 	// event stream — is byte-identical for any worker count.
 	Workers int
+	// Ctx, if non-nil, cancels the run early: the loop polls Ctx.Done()
+	// every CancelCadence cycles (the Progress-counter cadence bounds how
+	// stale the poll can be) and, when fired, returns the partial Result —
+	// outputs and firings so far, Canceled set, a "canceled" stall
+	// diagnostic — together with a wrapping error. A nil Ctx costs one nil
+	// check per cadence window, preserving the zero-perturbation
+	// guarantee; an un-canceled Ctx never alters results or cycle counts.
+	Ctx context.Context
 }
+
+// CancelCadence is how many simulated cycles pass between polls of
+// Options.Ctx (a power of two so the check is a mask). Cancellation of an
+// in-flight run is observed within at most this many cycles.
+const CancelCadence = 1024
 
 // DefaultMaxCycles bounds runs when Options.MaxCycles is zero.
 const DefaultMaxCycles = 10_000_000
@@ -91,6 +105,10 @@ type Result struct {
 	// exhausted, no token left on any arc. A false value with non-empty
 	// Stalled means the pipeline jammed or starved.
 	Clean bool
+	// Canceled reports that Options.Ctx fired before quiescence; the
+	// Result carries whatever the run produced up to the cancellation
+	// cycle, and Stalled leads with a "canceled" diagnostic.
+	Canceled bool
 	// Stalled lists diagnostics for cells left with partial state.
 	Stalled []string
 	// Graph is the graph actually simulated (FIFO cells expanded into
@@ -262,8 +280,23 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		}
 	}
 
+	var done <-chan struct{}
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
+	canceled := false
 	cycle := 0
 	for ; cycle < maxCycles; cycle++ {
+		if done != nil && cycle&(CancelCadence-1) == 0 {
+			select {
+			case <-done:
+				canceled = true
+			default:
+			}
+			if canceled {
+				break
+			}
+		}
 		if s.prog != nil {
 			s.prog.Cycle.Store(int64(cycle))
 		}
@@ -285,10 +318,23 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		Graph:    g,
 	}
 	res.Clean, res.Stalled = s.drainState()
+	if canceled {
+		return markCanceled(res, cycle, opt.Ctx)
+	}
 	if cycle >= maxCycles {
 		return res, fmt.Errorf("exec: no quiescence after %d cycles (livelock or MaxCycles too small)", maxCycles)
 	}
 	return res, nil
+}
+
+// markCanceled stamps a partial result with the cancellation diagnostics
+// shared by the sequential and sharded engines.
+func markCanceled(res *Result, cycle int, ctx context.Context) (*Result, error) {
+	res.Canceled = true
+	res.Clean = false
+	res.Stalled = append([]string{fmt.Sprintf("canceled: run stopped by context at cycle %d before quiescence", cycle)},
+		res.Stalled...)
+	return res, fmt.Errorf("exec: run canceled at cycle %d: %w", cycle, context.Cause(ctx))
 }
 
 // collect examines candidate cells against the current snapshot and returns

@@ -80,6 +80,14 @@ type shardSim struct {
 	// Filled in by worker 0 at exit; all workers leave at the same cycle.
 	endCycle int
 	quiesced bool
+
+	// Cancellation: worker 0 polls opt.Ctx at the CancelCadence and sets
+	// cancelReq before the phase-A barrier; every worker reads it after
+	// that barrier (the barrier provides the happens-before edge), so all
+	// workers leave together at the same cycle.
+	done      <-chan struct{}
+	cancelReq bool
+	canceled  bool
 }
 
 // shardWorker is one goroutine's view of the run.
@@ -113,6 +121,9 @@ func runSharded(g *graph.Graph, opt Options, maxCycles, nw int) (*Result, error)
 		sinkVals:  make([][]value.Value, g.NumNodes()),
 		sinkArrs:  make([][]Arrival, g.NumNodes()),
 		traced:    opt.Tracer != nil || opt.Trace != nil,
+	}
+	if opt.Ctx != nil {
+		ps.done = opt.Ctx.Done()
 	}
 	if opt.Tracer != nil {
 		names := make([]string, g.NumNodes())
@@ -237,6 +248,9 @@ func runSharded(g *graph.Graph, opt Options, maxCycles, nw int) (*Result, error)
 	}
 	drain := &sim{g: g, arcHas: ps.arcHas, arcVal: ps.arcVal, srcPos: ps.srcPos}
 	res.Clean, res.Stalled = drain.drainState()
+	if ps.canceled {
+		return markCanceled(res, ps.endCycle, opt.Ctx)
+	}
 	if !ps.quiesced {
 		res.ShardDiag = ps.diagnose()
 		return res, fmt.Errorf("exec: no quiescence after %d cycles (livelock or MaxCycles too small)", maxCycles)
@@ -255,8 +269,17 @@ func (w *shardWorker) run() {
 			}
 			return
 		}
-		if w.id == 0 && ps.opt.Progress != nil {
-			ps.opt.Progress.Cycle.Store(int64(cycle))
+		if w.id == 0 {
+			if ps.opt.Progress != nil {
+				ps.opt.Progress.Cycle.Store(int64(cycle))
+			}
+			if ps.done != nil && cycle&(CancelCadence-1) == 0 {
+				select {
+				case <-ps.done:
+					ps.cancelReq = true
+				default:
+				}
+			}
 		}
 		// Phase A: plan against the frozen start-of-cycle state.
 		w.sm.collect()
@@ -265,6 +288,13 @@ func (w *shardWorker) run() {
 		}
 		ps.planCount[w.id].v = int64(len(w.sm.plans))
 		w.wait()
+		if ps.cancelReq {
+			if w.id == 0 {
+				ps.endCycle = cycle
+				ps.canceled = true
+			}
+			return
+		}
 		total := int64(0)
 		for i := range ps.planCount {
 			total += ps.planCount[i].v

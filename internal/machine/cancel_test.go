@@ -1,0 +1,79 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"staticpipe/internal/exec"
+	"staticpipe/internal/graph"
+	"staticpipe/internal/value"
+)
+
+func cancelChain(n, d int) *graph.Graph {
+	g := graph.New()
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	prev := g.AddSource("in", value.Reals(vals))
+	for s := 0; s < d; s++ {
+		id := g.Add(graph.OpID, "")
+		g.Connect(prev, id, 0)
+		prev = id
+	}
+	g.Connect(prev, g.AddSink("out"), 0)
+	return g
+}
+
+func TestMachineCancelPreFiredContext(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			res, err := Run(cancelChain(2*exec.CancelCadence, 4), Config{Ctx: ctx, Workers: workers})
+			if err == nil {
+				t.Fatal("expected cancellation error")
+			}
+			if res == nil || !res.Canceled {
+				t.Fatal("expected canceled partial result")
+			}
+			if res.Clean {
+				t.Fatal("canceled run reported Clean")
+			}
+			if len(res.Stalled) == 0 || !strings.HasPrefix(res.Stalled[0], "canceled:") {
+				t.Fatalf("Stalled should lead with the canceled diagnostic, got %v", res.Stalled)
+			}
+			// The poll cadence bounds how far past the firing point the
+			// machine can run.
+			if res.Cycles > 2*exec.CancelCadence {
+				t.Fatalf("pre-canceled run simulated %d cycles, want <= %d", res.Cycles, 2*exec.CancelCadence)
+			}
+			// Partial outputs must be a prefix of the input stream (the
+			// chain is pure identity).
+			for i, v := range res.Outputs["out"] {
+				if v.AsReal() != float64(i) {
+					t.Fatalf("partial output[%d] = %v, want %d", i, v, i)
+				}
+			}
+		})
+	}
+}
+
+func TestMachineNilContextUnperturbed(t *testing.T) {
+	base, err := Run(cancelChain(512, 4), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := Run(cancelChain(512, 4), Config{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != withCtx.Cycles {
+		t.Fatalf("cycle count perturbed by un-fired context: %d vs %d", base.Cycles, withCtx.Cycles)
+	}
+	if !value.CloseSlices(base.Outputs["out"], withCtx.Outputs["out"], 0) {
+		t.Fatal("outputs perturbed by un-fired context")
+	}
+}

@@ -20,6 +20,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -132,6 +133,12 @@ type Config struct {
 	// counters, stall diagnostics, and the trace event stream — is
 	// byte-identical for any worker count.
 	Workers int
+	// Ctx, if non-nil, cancels the run early: the cycle loop polls
+	// Ctx.Done() every exec.CancelCadence cycles and, when fired, returns
+	// the partial Result (Canceled set, a "canceled" stall diagnostic
+	// first) together with a wrapping error. A nil Ctx costs one nil check
+	// per cadence window; an un-canceled Ctx never alters results.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +182,10 @@ type Result struct {
 	PEBusy []int
 	FUBusy []int
 	Clean  bool
+	// Canceled reports that Config.Ctx fired before quiescence; the
+	// Result carries the work done up to the cancellation cycle and
+	// Stalled leads with a "canceled" diagnostic.
+	Canceled bool
 	// Stalled carries diagnostics if the machine quiesced with work left.
 	Stalled []string
 	// Graph is the graph actually simulated (FIFO cells expanded), the
@@ -265,6 +276,7 @@ type machine struct {
 	tr        trace.Tracer
 	prog      *trace.Progress
 	fired     []bool // per-cell fired-this-cycle scratch (tracing only)
+	canceled  bool   // Config.Ctx fired mid-run (set by the cycle loops)
 
 	// plan scratch, reused across planCell calls (copied out when a plan's
 	// slices must outlive the call — operation packets ship them to FUs).
@@ -380,8 +392,22 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		}
 	}
 
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
 	cycle := 0
 	for ; cycle < cfg.MaxCycles; cycle++ {
+		if done != nil && cycle&(exec.CancelCadence-1) == 0 {
+			select {
+			case <-done:
+				m.canceled = true
+			default:
+			}
+			if m.canceled {
+				break
+			}
+		}
 		if m.prog != nil {
 			m.prog.Cycle.Store(int64(cycle))
 		}
@@ -401,6 +427,13 @@ func (m *machine) finish(endCycle int) (*Result, error) {
 		if m.pktCount[k] > 0 {
 			m.res.Packets[k.String()] = m.pktCount[k]
 		}
+	}
+	if m.canceled {
+		m.res.Canceled = true
+		m.res.Clean = false
+		m.res.Stalled = append([]string{fmt.Sprintf("canceled: run stopped by context at cycle %d before quiescence", endCycle)},
+			m.res.Stalled...)
+		return m.res, fmt.Errorf("machine: run canceled at cycle %d: %w", endCycle, context.Cause(m.cfg.Ctx))
 	}
 	if endCycle >= m.cfg.MaxCycles {
 		return m.res, fmt.Errorf("machine: no quiescence after %d cycles (livelock or MaxCycles too small)", m.cfg.MaxCycles)

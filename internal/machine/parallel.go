@@ -565,6 +565,19 @@ func (pm *parMachine) serial() {
 		pm.maxed = true
 		return
 	}
+	// Cancellation poll at the same cadence as the sequential loop; only
+	// worker 0 runs serial(), and the post-serial barrier publishes stop
+	// to the other workers before the next cycle begins.
+	if m.cfg.Ctx != nil && pm.cycle&(exec.CancelCadence-1) == 0 {
+		select {
+		case <-m.cfg.Ctx.Done():
+			pm.endCycle = pm.cycle
+			pm.stop = true
+			m.canceled = true
+			return
+		default:
+		}
+	}
 	pm.prologue(pm.cycle)
 }
 

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"staticpipe/internal/core"
+	"staticpipe/internal/value"
+)
+
+// Rejection reasons, used both as HTTP error codes and as the reason label
+// of staticpipe_serve_rejected_total.
+const (
+	ReasonInvalid   = "invalid"    // bad spec: parse/check/compile or input binding failed
+	ReasonThrottled = "throttled"  // tenant token bucket empty
+	ReasonQueueFull = "queue_full" // offload queue at capacity
+	ReasonShutdown  = "shutdown"   // service draining
+)
+
+// Rejection describes why a submission was not admitted.
+type Rejection struct {
+	Reason string
+	// Status is the HTTP status the reason maps to (400, 429, 503).
+	Status int
+	// RetryAfter, when positive, is the client back-off hint in seconds
+	// (only set for throttled/queue_full).
+	RetryAfter int
+	Err        error
+}
+
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("serve: rejected (%s): %v", r.Reason, r.Err)
+}
+
+// bucket is one tenant's token bucket. Submissions spend one token each;
+// tokens refill at rate per second up to burst. Guarded by Service.mu.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take refills the bucket to now and spends one token. On failure it
+// returns the whole seconds to wait until a token is available.
+func (b *bucket) take(now time.Time, rate float64, burst int) (ok bool, retryAfter int) {
+	b.tokens = math.Min(float64(burst), b.tokens+now.Sub(b.last).Seconds()*rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, int(math.Ceil((1 - b.tokens) / rate))
+}
+
+// estimateCost scores a compiled job for the fast/offload split. The cost
+// model is the admission-time upper bound on simulation work: every cell
+// fires at most once per cycle, so cells × estimated cycles bounds the
+// firing count. Estimated cycles follow from the fully-pipelined shape of
+// compiled graphs — a stream of n values through a d-cell pipeline drains
+// in O(n + d) — doubled for II > 1 slack, capped by the cycle bound.
+func estimateCost(u *core.Unit, spec Spec) (cost int64) {
+	cells := int64(u.Compiled.Graph.ComputeStats().Cells)
+	maxLen := 0
+	for _, s := range spec.Inputs {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	estCycles := 2*int64(maxLen) + 2*cells + 16
+	if spec.MaxCycles > 0 && estCycles > int64(spec.MaxCycles) {
+		estCycles = int64(spec.MaxCycles)
+	}
+	return cells * estCycles
+}
+
+// streamInputs converts wire-format streams to simulator input bindings.
+func streamInputs(in map[string]Stream) map[string][]value.Value {
+	out := make(map[string][]value.Value, len(in))
+	for name, s := range in {
+		out[name] = s
+	}
+	return out
+}
+
+// resolveSpec validates and normalizes a submission in place. It returns
+// the compiled unit (shared by the fast path and the offload queue) or a
+// client-error rejection.
+func (s *Service) resolveSpec(spec *Spec) (*core.Unit, *Rejection) {
+	switch spec.Model {
+	case "":
+		spec.Model = ModelExec
+	case ModelExec, ModelMachine:
+	default:
+		return nil, &Rejection{
+			Reason: ReasonInvalid, Status: http.StatusBadRequest,
+			Err: fmt.Errorf("unknown model %q (want %q or %q)", spec.Model, ModelExec, ModelMachine),
+		}
+	}
+	if spec.MaxCycles <= 0 || spec.MaxCycles > s.cfg.MaxCycles {
+		spec.MaxCycles = s.cfg.MaxCycles
+	}
+	if spec.Workers < 0 {
+		spec.Workers = 0
+	}
+	u, err := core.Compile(spec.Source, core.Options{MaxCycles: spec.MaxCycles})
+	if err != nil {
+		return nil, &Rejection{Reason: ReasonInvalid, Status: http.StatusBadRequest, Err: err}
+	}
+	// Bind inputs once at admission so name/arity mistakes come back as a
+	// 400, not a failed job. Execution re-binds before running (cheap, and
+	// it keeps runJob self-contained).
+	if err := u.Compiled.SetInputs(streamInputs(spec.Inputs)); err != nil {
+		return nil, &Rejection{Reason: ReasonInvalid, Status: http.StatusBadRequest, Err: err}
+	}
+	return u, nil
+}
+
+// Submit admits one job. The decision sequence is:
+//
+//  1. service draining           → 503 shutdown
+//  2. tenant token bucket empty  → 429 throttled (+ Retry-After)
+//  3. spec invalid               → 400 invalid
+//  4. cost ≤ OffloadThreshold    → fast path: run inline, return terminal job
+//  5. offload queue full         → 429 queue_full (+ Retry-After)
+//  6. enqueue                    → queued job (poll or stream for results)
+//
+// The cheap gates run before compilation so a throttled tenant cannot burn
+// service CPU on compile work. Every submission lands in exactly one
+// counter bucket: submitted == admitted + rejected per tenant.
+//
+// reqCtx, when non-nil, ties a fast-path run to the caller (a dropped HTTP
+// request cancels the inline simulation); it does not affect offloaded
+// jobs, which outlive their submit request by design.
+func (s *Service) Submit(reqCtx context.Context, spec Spec) (*Job, *Rejection) {
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	now := time.Now()
+
+	s.mu.Lock()
+	s.submitted[spec.Tenant]++
+	if s.closed {
+		rej := &Rejection{Reason: ReasonShutdown, Status: http.StatusServiceUnavailable,
+			Err: fmt.Errorf("service is shutting down")}
+		s.rejectLocked(spec.Tenant, rej.Reason)
+		s.mu.Unlock()
+		return nil, rej
+	}
+	if s.cfg.TenantRate > 0 {
+		b := s.buckets[spec.Tenant]
+		if b == nil {
+			b = &bucket{tokens: float64(s.cfg.TenantBurst), last: now}
+			s.buckets[spec.Tenant] = b
+		}
+		if ok, retry := b.take(now, s.cfg.TenantRate, s.cfg.TenantBurst); !ok {
+			s.rejectLocked(spec.Tenant, ReasonThrottled)
+			s.mu.Unlock()
+			return nil, &Rejection{Reason: ReasonThrottled, Status: http.StatusTooManyRequests,
+				RetryAfter: retry,
+				Err:        fmt.Errorf("tenant %s over rate limit (%.3g jobs/sec)", spec.Tenant, s.cfg.TenantRate)}
+		}
+	}
+	s.mu.Unlock()
+
+	// Compile outside the lock: admission stays responsive while a large
+	// program is compiling.
+	u, rej := s.resolveSpec(&spec)
+	if rej != nil {
+		s.mu.Lock()
+		s.rejectLocked(spec.Tenant, rej.Reason)
+		s.mu.Unlock()
+		return nil, rej
+	}
+
+	j := s.newJob(spec, u, estimateCost(u, spec))
+	if j.Cost <= s.cfg.OffloadThreshold {
+		// Fast path: the program is small enough that queue latency would
+		// dominate — run synchronously on the caller's goroutine so the
+		// submit response carries the finished result.
+		j.Path = PathFast
+		if reqCtx != nil {
+			stop := context.AfterFunc(reqCtx, j.cancelFn)
+			defer stop()
+		}
+		s.admit(j)
+		s.execute(j)
+		return j, nil
+	}
+
+	j.Path = PathOffload
+	j.workers = s.cfg.SimWorkers
+	s.mu.Lock()
+	if s.closed {
+		rej := &Rejection{Reason: ReasonShutdown, Status: http.StatusServiceUnavailable,
+			Err: fmt.Errorf("service is shutting down")}
+		s.rejectLocked(spec.Tenant, rej.Reason)
+		s.mu.Unlock()
+		return nil, rej
+	}
+	select {
+	case s.queue <- j:
+		s.admitLocked(j)
+		s.mu.Unlock()
+		return j, nil
+	default:
+		s.rejectLocked(spec.Tenant, ReasonQueueFull)
+		s.mu.Unlock()
+		return nil, &Rejection{Reason: ReasonQueueFull, Status: http.StatusTooManyRequests,
+			RetryAfter: 1,
+			Err:        fmt.Errorf("offload queue full (%d jobs)", s.cfg.QueueDepth)}
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Register mounts the job API on mux:
+//
+//	POST   /jobs              submit (200 fast+result, 202 queued, 400/429/503 rejected)
+//	GET    /jobs[?tenant=]    list tracked jobs (no result payloads)
+//	GET    /jobs/{id}         one job; includes the result once terminal
+//	POST   /jobs/{id}/cancel  request cancellation (DELETE /jobs/{id} is an alias)
+//	GET    /jobs/{id}/events  SSE stream: progress events, then one final done event
+//
+// The mux is typically telemetry.NewMux(reg, svc.WriteMetrics), putting
+// /jobs, /metrics, /runs, and /debug/pprof on one listener.
+func (s *Service) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error      string `json:"error"`
+	Reason     string `json:"reason,omitempty"`
+	RetryAfter int    `json:"retry_after_sec,omitempty"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err), Reason: ReasonInvalid})
+		return
+	}
+	j, rej := s.Submit(r.Context(), spec)
+	if rej != nil {
+		if rej.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(rej.RetryAfter))
+		}
+		writeJSON(w, rej.Status, errorBody{Error: rej.Err.Error(), Reason: rej.Reason, RetryAfter: rej.RetryAfter})
+		return
+	}
+	if j.Path == PathFast {
+		writeJSON(w, http.StatusOK, j.View(true))
+		return
+	}
+	w.Header().Set("Location", fmt.Sprintf("/jobs/%d", j.ID))
+	writeJSON(w, http.StatusAccepted, j.View(false))
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List(r.URL.Query().Get("tenant")))
+}
+
+// jobFromPath resolves {id}; a nil return means the 404 was written.
+func (s *Service) jobFromPath(w http.ResponseWriter, r *http.Request) *Job {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("bad job id %q", r.PathValue("id"))})
+		return nil
+	}
+	j := s.Get(id)
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %d (unknown or evicted)", id)})
+		return nil
+	}
+	return j
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFromPath(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.View(true))
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	s.Cancel(j.ID)
+	writeJSON(w, http.StatusOK, j.View(true))
+}
+
+// handleEvents streams a job's lifecycle as server-sent events: a
+// "progress" event (state + live cycle counters) every StreamInterval,
+// then a single "done" event carrying the full terminal view, result
+// included. The stream ends after done, or when the client disconnects.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "response writer cannot stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	event := func(name string, v any) {
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, b)
+		flusher.Flush()
+	}
+
+	ticker := time.NewTicker(s.cfg.StreamInterval)
+	defer ticker.Stop()
+	event("progress", j.View(false))
+	for {
+		select {
+		case <-j.Done():
+			event("done", j.View(true))
+			return
+		case <-ticker.C:
+			event("progress", j.View(false))
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

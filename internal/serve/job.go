@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"staticpipe/internal/core"
+	"staticpipe/internal/telemetry"
+	"staticpipe/internal/trace"
+	"staticpipe/internal/value"
+)
+
+// Spec is one compile+simulate job as submitted by a client.
+type Spec struct {
+	// Tenant names the quota account the job is billed to; empty maps to
+	// "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Source is the pipe-structured Val program to compile.
+	Source string `json:"source"`
+	// Inputs binds each declared input array to its stream. Elements may
+	// be plain JSON numbers (reals), booleans, or the tagged exact form
+	// {"k":"int","i":3} / {"k":"real","r":1.5} / {"k":"bool","b":true}.
+	Inputs map[string]Stream `json:"inputs"`
+	// MaxCycles bounds the simulation (0 = the service default; the
+	// service cap always applies).
+	MaxCycles int `json:"max_cycles,omitempty"`
+	// Model selects the simulator: "exec" (default, firing-rule) or
+	// "machine" (cycle-accurate packet level).
+	Model string `json:"model,omitempty"`
+	// Workers drives the job with the sharded parallel engine (results
+	// are byte-identical for any count). 0 lets the service decide:
+	// fast-path jobs run sequentially, offloaded jobs use the configured
+	// shard width.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Stream is one input or output value stream. It marshals reals as plain
+// JSON numbers (exact: shortest round-tripping form) and other domains in
+// the tagged value form, and accepts either on input.
+type Stream []value.Value
+
+// MarshalJSON renders reals as bare numbers and ints/bools tagged.
+func (s Stream) MarshalJSON() ([]byte, error) {
+	out := make([]any, len(s))
+	for i, v := range s {
+		if v.Kind() == value.Real {
+			out[i] = v.AsReal()
+		} else {
+			out[i] = v
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON accepts plain numbers (→ real), plain booleans, or the
+// tagged exact form per element.
+func (s *Stream) UnmarshalJSON(data []byte) error {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make([]value.Value, len(raw))
+	for i, r := range raw {
+		var f float64
+		if err := json.Unmarshal(r, &f); err == nil {
+			out[i] = value.R(f)
+			continue
+		}
+		var b bool
+		if err := json.Unmarshal(r, &b); err == nil {
+			out[i] = value.B(b)
+			continue
+		}
+		if err := out[i].UnmarshalJSON(r); err != nil {
+			return fmt.Errorf("stream element %d: %w", i, err)
+		}
+	}
+	*s = out
+	return nil
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued: admitted to the offload queue, not yet picked up.
+	StateQueued State = "queued"
+	// StateRunning: executing on a pool worker or the fast path.
+	StateRunning State = "running"
+	// StateDone: finished cleanly; Result holds the full outputs.
+	StateDone State = "done"
+	// StateFailed: compile was fine but the run errored (livelock bound,
+	// output shortfall); Result may hold partial outputs.
+	StateFailed State = "failed"
+	// StateCanceled: canceled while queued or in flight; Result holds the
+	// partial outputs produced up to the cancellation cycle.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Output is one output array of a finished (or canceled) job.
+type Output struct {
+	Lo     int64  `json:"lo"`
+	Lo2    int64  `json:"lo2,omitempty"`
+	W      int    `json:"w,omitempty"`
+	Values Stream `json:"values"`
+}
+
+// JobResult is the simulation outcome shipped back to clients. For a
+// canceled or failed run it carries whatever the simulator produced up to
+// the halt, with Canceled/Stalled saying why it is partial.
+type JobResult struct {
+	Cycles   int                `json:"cycles"`
+	Clean    bool               `json:"clean"`
+	Canceled bool               `json:"canceled,omitempty"`
+	Stalled  []string           `json:"stalled,omitempty"`
+	Outputs  map[string]Output  `json:"outputs"`
+	II       map[string]float64 `json:"ii,omitempty"`
+}
+
+// Job is one admitted submission.
+type Job struct {
+	// ID is the service-assigned identifier (stable across its lifetime).
+	ID int64
+	// Tenant is the resolved quota account.
+	Tenant string
+	// Path records the admission decision: "fast" or "offload".
+	Path string
+	// Cost is the admission-time cost estimate (cells × estimated
+	// cycles) the fast/offload split was decided on.
+	Cost int64
+	// Model is the resolved simulator model.
+	Model string
+
+	spec    Spec
+	unit    *core.Unit
+	workers int
+	maxCyc  int
+
+	ctx      context.Context
+	cancelFn context.CancelFunc
+	done     chan struct{} // closed at the terminal transition
+
+	mu        sync.Mutex
+	run       *telemetry.Run  // registered at execution time; nil before
+	prog      *trace.Progress // live while running; readable any time
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *JobResult
+	errMsg    string
+}
+
+// label names the job's telemetry run.
+func (j *Job) label() string { return fmt.Sprintf("%s/j%d", j.Tenant, j.ID) }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job's result (nil until terminal; nil for jobs
+// canceled before they started).
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// cancelQueued atomically transitions queued → canceled; false means the
+// job already started (or finished) and cancellation must flow through
+// its context instead.
+func (j *Job) cancelQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCanceled
+	j.errMsg = "canceled while queued"
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+// begin transitions queued → running; false means the job was canceled
+// first and must not run.
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the terminal state; idempotent (the first caller wins).
+func (j *Job) finish(state State, res *JobResult, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+// JobView is the JSON shape of one job on the HTTP surface.
+type JobView struct {
+	ID       int64  `json:"id"`
+	Tenant   string `json:"tenant"`
+	State    State  `json:"state"`
+	Path     string `json:"path"`
+	Model    string `json:"model"`
+	Cost     int64  `json:"cost"`
+	Cycle    int64  `json:"cycle"`
+	Arrivals int64  `json:"arrivals"`
+	// ElapsedSec is wall time since submission, frozen at the terminal
+	// transition.
+	ElapsedSec float64    `json:"elapsed_sec"`
+	Error      string     `json:"error,omitempty"`
+	Result     *JobResult `json:"result,omitempty"`
+}
+
+// View snapshots the job; withResult includes the (possibly large) output
+// payload.
+func (j *Job) View(withResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:     j.ID,
+		Tenant: j.Tenant,
+		State:  j.state,
+		Path:   j.Path,
+		Model:  j.Model,
+		Cost:   j.Cost,
+		Error:  j.errMsg,
+	}
+	if j.prog != nil {
+		v.Cycle = j.prog.Cycle.Load()
+		v.Arrivals = j.prog.Arrivals.Load()
+	}
+	end := time.Now()
+	if j.state.Terminal() {
+		end = j.finished
+	}
+	v.ElapsedSec = end.Sub(j.submitted).Seconds()
+	if withResult && j.state.Terminal() {
+		v.Result = j.result
+	}
+	return v
+}

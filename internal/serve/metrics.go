@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteMetrics renders the staticpipe_serve_* Prometheus families in text
+// exposition format. It is shaped to plug into telemetry.NewMux as an
+// extra appender so the service's counters share the /metrics endpoint
+// with the per-run simulation families.
+func (s *Service) WriteMetrics(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	family(w, "staticpipe_serve_submitted_total", "counter",
+		"Job submissions received, before any admission decision.")
+	for _, t := range sortedKeys(s.submitted) {
+		fmt.Fprintf(w, "staticpipe_serve_submitted_total{%s} %d\n", lbl("tenant", t), s.submitted[t])
+	}
+
+	family(w, "staticpipe_serve_admitted_total", "counter",
+		"Jobs admitted, by admission path (fast=inline, offload=queued).")
+	for _, k := range sortedPairKeys(s.admitted) {
+		fmt.Fprintf(w, "staticpipe_serve_admitted_total{%s,%s} %d\n",
+			lbl("tenant", k[0]), lbl("path", k[1]), s.admitted[k])
+	}
+
+	family(w, "staticpipe_serve_rejected_total", "counter",
+		"Submissions rejected, by reason (invalid, throttled, queue_full, shutdown).")
+	for _, k := range sortedPairKeys(s.rejected) {
+		fmt.Fprintf(w, "staticpipe_serve_rejected_total{%s,%s} %d\n",
+			lbl("tenant", k[0]), lbl("reason", k[1]), s.rejected[k])
+	}
+
+	family(w, "staticpipe_serve_jobs_completed_total", "counter",
+		"Jobs reaching a terminal state, by state (done, failed, canceled).")
+	for _, k := range sortedPairKeys(s.completed) {
+		fmt.Fprintf(w, "staticpipe_serve_jobs_completed_total{%s,%s} %d\n",
+			lbl("tenant", k[0]), lbl("state", k[1]), s.completed[k])
+	}
+
+	family(w, "staticpipe_serve_evicted_total", "counter",
+		"Terminal jobs evicted from the bounded per-tenant result store.")
+	for _, t := range sortedKeys(s.evicted) {
+		fmt.Fprintf(w, "staticpipe_serve_evicted_total{%s} %d\n", lbl("tenant", t), s.evicted[t])
+	}
+
+	family(w, "staticpipe_serve_queue_depth", "gauge", "Jobs waiting in the offload queue.")
+	fmt.Fprintf(w, "staticpipe_serve_queue_depth %d\n", len(s.queue))
+	family(w, "staticpipe_serve_queue_capacity", "gauge", "Offload queue capacity.")
+	fmt.Fprintf(w, "staticpipe_serve_queue_capacity %d\n", s.cfg.QueueDepth)
+	family(w, "staticpipe_serve_workers", "gauge", "Worker-pool size.")
+	fmt.Fprintf(w, "staticpipe_serve_workers %d\n", s.cfg.PoolWorkers)
+	family(w, "staticpipe_serve_workers_busy", "gauge", "Pool workers executing a job.")
+	fmt.Fprintf(w, "staticpipe_serve_workers_busy %d\n", s.poolBusy)
+	family(w, "staticpipe_serve_jobs_running", "gauge",
+		"Jobs executing now (pool workers plus inline fast-path runs).")
+	fmt.Fprintf(w, "staticpipe_serve_jobs_running %d\n", s.running)
+	family(w, "staticpipe_serve_jobs_tracked", "gauge",
+		"Jobs in the result store (queued, running, and retained terminal).")
+	fmt.Fprintf(w, "staticpipe_serve_jobs_tracked %d\n", len(s.jobs))
+	family(w, "staticpipe_serve_offload_threshold", "gauge",
+		"Admission cost threshold above which jobs are queued.")
+	fmt.Fprintf(w, "staticpipe_serve_offload_threshold %d\n", s.cfg.OffloadThreshold)
+}
+
+// Counters returns the per-tenant admission ledger (submitted, admitted,
+// rejected totals) for reconciliation checks: for every tenant,
+// submitted == admitted + rejected must hold at quiescence.
+func (s *Service) Counters(tenant string) (submitted, admitted, rejected int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	submitted = s.submitted[tenant]
+	for k, v := range s.admitted {
+		if k[0] == tenant {
+			admitted += v
+		}
+	}
+	for k, v := range s.rejected {
+		if k[0] == tenant {
+			rejected += v
+		}
+	}
+	return submitted, admitted, rejected
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedPairKeys(m map[[2]string]int64) [][2]string {
+	keys := make([][2]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	return keys
+}
+
+// family and lbl mirror the unexported telemetry/prom.go helpers: the text
+// exposition format is small enough that sharing would couple the packages
+// for two one-liners.
+func family(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func lbl(key, value string) string { return key + `="` + escapeLabel(value) + `"` }
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

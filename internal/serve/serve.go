@@ -1,0 +1,410 @@
+// Package serve is the multi-tenant simulation-as-a-service layer: a job
+// model, an admission controller with a fast-path/offload split, a bounded
+// worker pool driving the sharded simulation engines, per-tenant quotas,
+// and a bounded result store. cmd/dfserve mounts it over HTTP next to the
+// telemetry surface.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"staticpipe/internal/core"
+	"staticpipe/internal/exec"
+	"staticpipe/internal/machine"
+	"staticpipe/internal/telemetry"
+)
+
+// Simulator models a job can request.
+const (
+	ModelExec    = "exec"    // firing-rule simulator (internal/exec)
+	ModelMachine = "machine" // packet-level machine simulator (internal/machine)
+)
+
+// Admission paths.
+const (
+	PathFast    = "fast"    // ran inline on the submit call
+	PathOffload = "offload" // queued to the worker pool
+)
+
+// Config sizes the service. The zero value of each field picks the listed
+// default.
+type Config struct {
+	// PoolWorkers is the worker-pool size for offloaded jobs (default
+	// GOMAXPROCS).
+	PoolWorkers int
+	// QueueDepth bounds the offload queue; a full queue rejects with 429
+	// (default 256).
+	QueueDepth int
+	// OffloadThreshold splits admission: jobs whose estimated cost
+	// (cells × estimated cycles) is at or below it run inline on the
+	// submitting goroutine, larger ones queue (default 1<<20). Zero keeps
+	// the default; negative offloads everything.
+	OffloadThreshold int64
+	// SimWorkers drives offloaded jobs with the sharded parallel engine
+	// (core.Options.Workers); 0 runs them sequentially. Results are
+	// byte-identical either way.
+	SimWorkers int
+	// TenantRate is the per-tenant admission rate in jobs/second; 0
+	// disables throttling. TenantBurst is the token-bucket burst
+	// (default 16).
+	TenantRate  float64
+	TenantBurst int
+	// KeepFinished bounds the per-tenant result store: beyond this many
+	// terminal jobs, the oldest are evicted (default 64; negative keeps
+	// none).
+	KeepFinished int
+	// MaxCycles caps every job's simulation bound (default
+	// exec.DefaultMaxCycles). Specs asking for more are clamped.
+	MaxCycles int
+	// JobTimeout bounds each job's execution wall time; 0 means no bound.
+	JobTimeout time.Duration
+	// Registry, when non-nil, registers one telemetry run per executing
+	// job (label "tenant/j<id>") so /metrics and /runs expose live
+	// per-job cycle progress.
+	Registry *telemetry.Registry
+	// StreamInterval paces SSE progress events (default 100ms).
+	StreamInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolWorkers <= 0 {
+		c.PoolWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.OffloadThreshold == 0 {
+		c.OffloadThreshold = 1 << 20
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 16
+	}
+	if c.KeepFinished == 0 {
+		c.KeepFinished = telemetry.DefaultKeepFinished
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = exec.DefaultMaxCycles
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Service is one admission controller + worker pool + result store.
+type Service struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int64
+	jobs     map[int64]*Job
+	buckets  map[string]*bucket
+	finished map[string][]int64 // per-tenant FIFO of terminal job IDs, oldest first
+
+	// Counters for /metrics; label keys are [tenant] or [tenant, x].
+	submitted map[string]int64
+	admitted  map[[2]string]int64 // [tenant, path]
+	rejected  map[[2]string]int64 // [tenant, reason]
+	completed map[[2]string]int64 // [tenant, state]
+	evicted   map[string]int64
+	running   int
+	poolBusy  int
+}
+
+// New starts a service: PoolWorkers goroutines consuming the offload
+// queue. Call Close to drain and stop them.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:       cfg,
+		queue:     make(chan *Job, cfg.QueueDepth),
+		jobs:      map[int64]*Job{},
+		buckets:   map[string]*bucket{},
+		finished:  map[string][]int64{},
+		submitted: map[string]int64{},
+		admitted:  map[[2]string]int64{},
+		rejected:  map[[2]string]int64{},
+		completed: map[[2]string]int64{},
+		evicted:   map[string]int64{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.wg.Add(cfg.PoolWorkers)
+	for i := 0; i < cfg.PoolWorkers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// newJob allocates a job with its cancellation scope rooted in the
+// service (Close's hard phase cancels every in-flight run).
+func (s *Service) newJob(spec Spec, u *core.Unit, cost int64) *Job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		Tenant:   spec.Tenant,
+		Cost:     cost,
+		Model:    spec.Model,
+		spec:     spec,
+		unit:     u,
+		workers:  spec.Workers,
+		maxCyc:   spec.MaxCycles,
+		ctx:      ctx,
+		cancelFn: cancel,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+	}
+	j.submitted = time.Now()
+	return j
+}
+
+// admit registers an admitted job (ID assignment + tracking + counters).
+func (s *Service) admit(j *Job) {
+	s.mu.Lock()
+	s.admitLocked(j)
+	s.mu.Unlock()
+}
+
+func (s *Service) admitLocked(j *Job) {
+	s.nextID++
+	j.ID = s.nextID
+	s.jobs[j.ID] = j
+	s.admitted[[2]string{j.Tenant, j.Path}]++
+}
+
+// rejectLocked counts one rejection. Callers hold s.mu.
+func (s *Service) rejectLocked(tenant, reason string) {
+	s.rejected[[2]string{tenant, reason}]++
+}
+
+// worker is one pool goroutine: it drains the offload queue until Close
+// closes it, then exits. Jobs canceled while queued are skipped (their
+// terminal state was recorded by Cancel).
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		s.poolBusy++
+		s.mu.Unlock()
+		s.execute(j)
+		s.mu.Lock()
+		s.poolBusy--
+		s.mu.Unlock()
+	}
+}
+
+// execute runs one admitted job to a terminal state. It is called on a
+// pool worker (offload path) or the submitting goroutine (fast path).
+func (s *Service) execute(j *Job) {
+	if !j.begin() {
+		return // canceled while queued
+	}
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+
+	var run *telemetry.Run
+	if s.cfg.Registry != nil {
+		run = s.cfg.Registry.NewRun(j.label(), j.Model)
+		j.mu.Lock()
+		j.run = run
+		j.prog = run.Progress()
+		j.mu.Unlock()
+	}
+
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+
+	res, err := s.simulate(j, ctx)
+	state := StateDone
+	errMsg := ""
+	switch {
+	case res != nil && res.Canceled:
+		state = StateCanceled
+		errMsg = fmt.Sprintf("canceled: %v", context.Cause(ctx))
+	case err != nil:
+		state = StateFailed
+		errMsg = err.Error()
+	}
+	s.complete(j, state, res, errMsg, err)
+}
+
+// simulate drives the job's chosen simulator model and normalizes the
+// outcome to a JobResult. A non-nil result with err != nil is partial
+// (cancellation or a cycle-bound halt).
+func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
+	inputs := streamInputs(j.spec.Inputs)
+	var prog = j.prog
+	switch j.Model {
+	case ModelMachine:
+		if err := j.unit.Compiled.SetInputs(inputs); err != nil {
+			return nil, err
+		}
+		mres, err := machine.Run(j.unit.Compiled.Graph, machine.Config{
+			MaxCycles: j.maxCyc, Workers: j.workers, Progress: prog, Ctx: ctx,
+		})
+		if mres == nil {
+			return nil, err
+		}
+		res := &JobResult{
+			Cycles: mres.Cycles, Clean: mres.Clean, Canceled: mres.Canceled,
+			Stalled: mres.Stalled, Outputs: map[string]Output{}, II: map[string]float64{},
+		}
+		for name, rng := range j.unit.Compiled.Outputs {
+			res.Outputs[name] = Output{Lo: rng.Lo, Lo2: rng.Lo2, W: rng.Width(), Values: mres.Output(name)}
+			res.II[name] = mres.II(name)
+		}
+		return res, err
+	default: // ModelExec
+		j.unit.Bind(ctx, prog, j.workers, j.maxCyc)
+		rr, err := j.unit.Run(inputs)
+		if rr == nil {
+			return nil, err
+		}
+		res := &JobResult{
+			Cycles: rr.Exec.Cycles, Clean: rr.Exec.Clean, Canceled: rr.Exec.Canceled,
+			Stalled: rr.Exec.Stalled, Outputs: map[string]Output{}, II: map[string]float64{},
+		}
+		for name, av := range rr.Outputs {
+			res.Outputs[name] = Output{Lo: av.Lo, Lo2: av.Lo2, W: av.W, Values: av.Elems}
+			res.II[name] = rr.Exec.II(name)
+		}
+		return res, err
+	}
+}
+
+// complete records a job's terminal transition exactly once: lifecycle
+// state, counters, telemetry run closure, and result-store eviction.
+func (s *Service) complete(j *Job, state State, res *JobResult, errMsg string, err error) {
+	if !j.finish(state, res, errMsg) {
+		return
+	}
+	j.cancelFn() // release the job's context resources
+	j.mu.Lock()
+	run := j.run
+	began := !j.started.IsZero()
+	j.mu.Unlock()
+	if run != nil {
+		run.Finish(err)
+	}
+	s.mu.Lock()
+	if began {
+		s.running--
+	}
+	s.completed[[2]string{j.Tenant, string(state)}]++
+	s.retireLocked(j)
+	s.mu.Unlock()
+}
+
+// retireLocked appends j to its tenant's finished FIFO and evicts beyond
+// the retention bound. Callers hold s.mu.
+func (s *Service) retireLocked(j *Job) {
+	keep := s.cfg.KeepFinished
+	if keep < 0 {
+		keep = 0
+	}
+	fin := append(s.finished[j.Tenant], j.ID)
+	for len(fin) > keep {
+		delete(s.jobs, fin[0])
+		s.evicted[j.Tenant]++
+		fin = fin[1:]
+	}
+	s.finished[j.Tenant] = fin
+}
+
+// Get returns a tracked job (nil if unknown or evicted).
+func (s *Service) Get(id int64) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// List snapshots all tracked jobs (optionally one tenant's), ordered by ID.
+func (s *Service) List(tenant string) []JobView {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if tenant == "" || j.Tenant == tenant {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View(false)
+	}
+	return views
+}
+
+// Cancel requests cancellation of a tracked job. A queued job transitions
+// to canceled immediately; a running one is interrupted through its
+// context (the simulator polls every exec.CancelCadence cycles and
+// returns the partial result). Returns the job and whether it was found;
+// canceling a terminal job is a found no-op.
+func (s *Service) Cancel(id int64) (*Job, bool) {
+	j := s.Get(id)
+	if j == nil {
+		return nil, false
+	}
+	j.cancelFn()
+	if j.cancelQueued() {
+		// Never started: record the terminal transition here (the worker
+		// that eventually dequeues it will skip it).
+		j.mu.Lock()
+		run := j.run
+		j.mu.Unlock()
+		if run != nil {
+			run.Finish(context.Canceled)
+		}
+		s.mu.Lock()
+		s.completed[[2]string{j.Tenant, string(StateCanceled)}]++
+		s.retireLocked(j)
+		s.mu.Unlock()
+	}
+	return j, true
+}
+
+// Close drains the service: no new submissions are admitted, queued jobs
+// run to completion, and the call returns when the pool is idle. If ctx
+// expires first, every in-flight job is canceled (partial results are
+// recorded) and Close waits for the pool to unwind — bounded by the
+// simulator's cancel cadence — before returning ctx's error.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // hard phase: cancel everything still running
+		<-done
+		return ctx.Err()
+	}
+}

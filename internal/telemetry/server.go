@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -18,18 +20,24 @@ import (
 //	/healthz       liveness + build info
 //	/debug/pprof/  the standard net/http/pprof surface
 type Server struct {
-	reg *Registry
 	ln  net.Listener
 	srv *http.Server
 }
 
 // NewMux builds the telemetry handler tree for reg — exposed separately
-// from Serve so tests (and embedders) can drive it without a socket.
-func NewMux(reg *Registry) *http.ServeMux {
+// from Serve so tests (and embedders such as dfserve) can drive it without
+// a socket. Each extra appender is invoked after the registry families on
+// every /metrics scrape, letting other subsystems publish their own
+// Prometheus families (e.g. the staticpipe_serve_* admission counters) on
+// the same endpoint.
+func NewMux(reg *Registry, extra ...func(io.Writer)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, reg)
+		for _, f := range extra {
+			f(w)
+		}
 	})
 	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
 		runs := reg.Runs()
@@ -62,13 +70,21 @@ func NewMux(reg *Registry) *http.ServeMux {
 // Serve binds addr (e.g. ":9090", "127.0.0.1:0") and serves the telemetry
 // surface for reg in a background goroutine. It returns once the listener
 // is bound, so a subsequent scrape of Addr() cannot race the bind.
-func Serve(addr string, reg *Registry) (*Server, error) {
+func Serve(addr string, reg *Registry, extra ...func(io.Writer)) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg, extra...))
+}
+
+// ServeHandler binds addr and serves an arbitrary handler tree in a
+// background goroutine — the mount point for embedders that combine the
+// telemetry mux with their own routes (dfserve mounts /jobs alongside
+// /metrics). It returns once the listener is bound.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 10 * time.Second}
-	s := &Server{reg: reg, ln: ln, srv: srv}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	s := &Server{ln: ln, srv: srv}
 	go srv.Serve(ln)
 	return s, nil
 }
@@ -76,5 +92,12 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and any in-flight handlers.
+// Shutdown gracefully stops the server: the listener closes immediately
+// (new connections are refused) while in-flight requests — a long scrape,
+// a streaming /jobs/{id}/events response — run to completion, bounded by
+// ctx. It returns ctx.Err() if the drain deadline passes first.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close stops the listener and any in-flight handlers immediately; prefer
+// Shutdown for a graceful drain.
 func (s *Server) Close() error { return s.srv.Close() }

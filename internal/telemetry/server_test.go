@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get drives the mux directly (no socket) and returns status + body.
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	run := reg.NewRun("handler-test", "exec")
+	run.Progress().Cycle.Store(42)
+	run.Progress().Arrivals.Add(7)
+
+	mux := NewMux(reg)
+	code, body := get(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE staticpipe_build_info gauge",
+		`staticpipe_run_info{run="handler-test",model="exec",state="running"} 1`,
+		`staticpipe_run_cycle{run="handler-test"} 42`,
+		`staticpipe_run_arrivals_total{run="handler-test"} 7`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestMetricsHandlerExtraAppenders(t *testing.T) {
+	reg := NewRegistry()
+	mux := NewMux(reg, func(w io.Writer) {
+		io.WriteString(w, "# TYPE extra_family_total counter\nextra_family_total 3\n")
+	})
+	_, body := get(t, mux, "/metrics")
+	if !strings.Contains(body, "extra_family_total 3") {
+		t.Fatal("/metrics did not include the extra appender's families")
+	}
+	if !strings.Contains(body, "staticpipe_build_info") {
+		t.Fatal("extra appender displaced the registry families")
+	}
+}
+
+func TestRunsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewRun("a", "exec").Finish(nil)
+	b := reg.NewRun("b", "machine")
+	b.AddWarnings("w1")
+
+	code, body := get(t, NewMux(reg), "/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/runs status %d", code)
+	}
+	var infos []RunInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("/runs not JSON: %v", err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("/runs returned %d runs, want 2", len(infos))
+	}
+	if infos[0].Label != "a" || infos[0].State != StateDone {
+		t.Fatalf("run a: %+v", infos[0])
+	}
+	if infos[1].Label != "b" || infos[1].State != StateRunning || len(infos[1].Warnings) != 1 {
+		t.Fatalf("run b: %+v", infos[1])
+	}
+}
+
+func TestHealthzHandler(t *testing.T) {
+	code, body := get(t, NewMux(NewRegistry()), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var health struct {
+		Status string            `json:"status"`
+		Build  map[string]string `json:"build"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("/healthz status field %q", health.Status)
+	}
+	if len(health.Build) == 0 {
+		t.Fatal("/healthz carries no build info")
+	}
+}
+
+// TestShutdownDrainsInflight pins the graceful path: Shutdown refuses new
+// connections but lets an in-flight request finish.
+func TestShutdownDrainsInflight(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		io.WriteString(w, "drained")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-inHandler
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// The in-flight request must still complete after Shutdown started.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request not drained: body=%q err=%v", r.body, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// New connections are refused after shutdown.
+	if _, err := http.Get("http://" + srv.Addr() + "/slow"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+func TestServeBackwardCompatibleSignature(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz over socket: status %d", resp.StatusCode)
+	}
+}

@@ -40,6 +40,22 @@ echo "== sharded engine race pin =="
 go test -race -count=3 -run 'Sharded|ShardSweep|CoreWorkersOption' \
     ./internal/exec/ ./internal/machine/ ./internal/core/ ./internal/partition/
 
+echo "== service admission race pin =="
+# The admission controller's contended paths (queue overflow, token
+# buckets, cancel-vs-begin CAS, eviction under load) get a dedicated
+# repeated race pass; the full-suite -race run exercises each once.
+go test -race -count=3 -run 'TestQueueOverflowRejects429|TestTenantThrottle|TestCancelQueuedJob|TestEviction|TestSubmitAfterCloseRejectsShutdown' \
+    ./internal/serve/
+
+echo "== service load smoke =="
+# End-to-end over a real socket: concurrent submissions across both
+# admission paths with mid-flight cancels. The binary exits nonzero unless
+# every admitted job reaches a terminal state, the admission ledger
+# reconciles (submitted == admitted + rejected per tenant), overflow comes
+# back as 429, and the goroutine count returns to its pre-service baseline
+# after the graceful drain.
+go run ./cmd/dfserve -smoke 48 -offload 1000
+
 echo "== sharded engine determinism smoke =="
 # The contract is byte-identical output for any worker count: run dfsim
 # sequentially and at P=4 on two example programs, on both simulator cores,
