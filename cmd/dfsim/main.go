@@ -10,6 +10,9 @@
 // Flags:
 //
 //	-fill kind     input data: ramp | sin | const | alt (default ramp)
+//	-batch n       advance n independent input streams ("lanes") in one run;
+//	               stdout stays byte-identical to a scalar run (lane 0), the
+//	               per-lane summary goes to stderr
 //	-print n       print at most n elements per output (default 8; 0 = all)
 //	-machine       run on the packet-level machine
 //	-pes n         machine PEs (default 4)
@@ -47,6 +50,7 @@ import (
 func main() {
 	var (
 		fill      = flag.String("fill", "ramp", "input data: ramp | sin | const | alt")
+		batch     = flag.Int("batch", 0, "advance N independent input streams in one run (lane 0 output is byte-identical)")
 		printN    = flag.Int("print", 8, "max elements printed per output (0 = all)")
 		useMach   = flag.Bool("machine", false, "run on the packet-level machine")
 		pes       = flag.Int("pes", 4, "machine processing elements")
@@ -147,7 +151,7 @@ func main() {
 			fatal(err)
 		}
 		if *useMach {
-			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Workers: *workers, Tracer: tracer, Progress: prog}
+			cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Workers: *workers, Tracer: tracer, Progress: prog, Batch: *batch}
 			if *butterfly {
 				cfg.Network = machine.Butterfly
 			}
@@ -157,15 +161,17 @@ func main() {
 			}
 			fmt.Print(machine.Describe(res))
 			printOutputs(res.Outputs, *printN)
+			machineLaneSummary(res)
 			finish()
 			return
 		}
-		res, err := exec.Run(g, exec.Options{Workers: *workers, Tracer: tracer, Progress: prog})
+		res, err := exec.Run(g, exec.Options{Workers: *workers, Tracer: tracer, Progress: prog, Batch: *batch})
 		if err != nil {
 			fatalPartial(err, res, exec.Describe)
 		}
 		fmt.Print(exec.Describe(res))
 		printOutputs(res.Outputs, *printN)
+		execLaneSummary(res)
 		finish()
 		return
 	}
@@ -174,7 +180,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{NoBalance: *noBal, Workers: *workers, Tracer: tracer, Progress: prog}
+	opts := core.Options{NoBalance: *noBal, Workers: *workers, Tracer: tracer, Progress: prog, Batch: *batch}
 	if *todd {
 		opts.ForIterScheme = foriter.Todd
 	}
@@ -192,10 +198,11 @@ func main() {
 	}
 
 	if *verify {
-		// Validate runs the graph too; use a tracer-free unit so the traced
-		// run below stays the only one in the event stream.
+		// Validate runs the graph too; use a tracer-free scalar unit so the
+		// traced run below stays the only one in the event stream.
 		vopts := opts
 		vopts.Tracer = nil
+		vopts.Batch = 0
 		vu, err := core.Compile(src, vopts)
 		if err != nil {
 			fatal(err)
@@ -210,7 +217,8 @@ func main() {
 		if err := u.Compiled.SetInputs(inputs); err != nil {
 			fatal(err)
 		}
-		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Workers: *workers, Tracer: tracer, Progress: prog}
+		cfg := machine.Config{PEs: *pes, FUs: *fus, AMs: *ams, Workers: *workers, Tracer: tracer, Progress: prog,
+			Batch: *batch, LaneInputs: laneFill(inputs, *batch)}
 		if *butterfly {
 			cfg.Network = machine.Butterfly
 		}
@@ -220,6 +228,7 @@ func main() {
 		}
 		fmt.Print(machine.Describe(res))
 		printOutputs(res.Outputs, *printN)
+		machineLaneSummary(res)
 		finish()
 		return
 	}
@@ -236,6 +245,24 @@ func main() {
 		return
 	}
 
+	if *batch > 1 {
+		res, err := u.RunBatch(inputs, laneFill(inputs, *batch))
+		if err != nil {
+			fatal(err)
+		}
+		// Lane 0 consumed the baseline inputs, so stdout is byte-identical
+		// to a scalar run; the per-lane summary goes to stderr.
+		fmt.Print(exec.Describe(res.Exec))
+		byName := map[string][]value.Value{}
+		for name, arr := range res.Lanes[0].Outputs {
+			byName[name] = arr.Elems
+		}
+		printOutputs(byName, *printN)
+		execLaneSummary(res.Exec)
+		finish()
+		return
+	}
+
 	res, err := u.Run(inputs)
 	if err != nil {
 		fatal(err)
@@ -247,6 +274,56 @@ func main() {
 	}
 	printOutputs(byName, *printN)
 	finish()
+}
+
+// laneFill builds per-lane input streams for -batch: lane l consumes the
+// base synthetic streams rotated by l, so lanes carry distinct data while
+// every stream keeps its declared length. Lane 0 (nil entry) keeps the
+// baseline streams.
+func laneFill(inputs map[string][]value.Value, b int) []map[string][]value.Value {
+	if b <= 1 {
+		return nil
+	}
+	lanes := make([]map[string][]value.Value, b)
+	for l := 1; l < b; l++ {
+		m := make(map[string][]value.Value, len(inputs))
+		for name, vs := range inputs {
+			m[name] = rotVals(vs, l)
+		}
+		lanes[l] = m
+	}
+	return lanes
+}
+
+func rotVals(vs []value.Value, k int) []value.Value {
+	if len(vs) == 0 {
+		return vs
+	}
+	k %= len(vs)
+	return append(append([]value.Value(nil), vs[k:]...), vs[:k]...)
+}
+
+// execLaneSummary prints one line per lane to stderr — stdout must stay
+// byte-identical to a scalar run so output diffing keeps working.
+func execLaneSummary(res *exec.Result) {
+	for l, lr := range res.Lanes {
+		n := 0
+		for _, vs := range lr.Outputs {
+			n += len(vs)
+		}
+		fmt.Fprintf(os.Stderr, "batch: lane %d: cycles=%d clean=%v outputs=%d\n", l, lr.Cycles, lr.Clean, n)
+	}
+}
+
+func machineLaneSummary(res *machine.Result) {
+	for l, lr := range res.Lanes {
+		n := 0
+		for _, vs := range lr.Outputs {
+			n += len(vs)
+		}
+		fmt.Fprintf(os.Stderr, "batch: lane %d: cycles=%d clean=%v packets=%d outputs=%d\n",
+			l, lr.Cycles, lr.Clean, lr.TotalPackets, n)
+	}
 }
 
 func printOutputs(outputs map[string][]value.Value, limit int) {

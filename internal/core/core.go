@@ -72,6 +72,13 @@ type Options struct {
 	// exec.Options.Workers); 0 or 1 runs sequentially. Results are
 	// byte-identical for any worker count.
 	Workers int
+	// Batch widens every Run to this many independent token lanes advancing
+	// through the one compiled graph (see exec.Options.Batch). Run feeds all
+	// lanes the program's bound inputs; RunBatch rebinds per-lane inputs and
+	// returns per-lane views. Lane 0 is always byte-identical to a scalar
+	// run; 0 or 1 runs the scalar engine. With Batch > 1 Workers shards by
+	// lane ranges.
+	Batch int
 	// Ctx, if non-nil, cancels in-flight Runs early (see exec.Options.Ctx:
 	// polled every exec.CancelCadence cycles, zero perturbation when the
 	// context never fires). A canceled Run returns the partial RunResult —
@@ -197,7 +204,7 @@ func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
 	}
 	res, err := exec.Run(u.Compiled.Graph, exec.Options{
 		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
-		Workers: u.opts.Workers, Ctx: u.opts.Ctx,
+		Workers: u.opts.Workers, Ctx: u.opts.Ctx, Batch: u.opts.Batch,
 	})
 	if err != nil {
 		if res != nil {
@@ -221,6 +228,68 @@ func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
 				name, len(elems), rng.Len(), exec.Describe(res))
 		}
 		out.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: elems, Lo2: rng.Lo2, W: rng.Width()}
+	}
+	return out, nil
+}
+
+// BatchRunResult holds every lane's view of a batched run.
+type BatchRunResult struct {
+	// Lanes holds one RunResult per lane. Lane 0 consumed the program's
+	// baseline inputs and is byte-identical to a sequential Run.
+	Lanes []*RunResult
+	// Exec is the underlying batched simulation result (top-level fields
+	// are lane 0's; Exec.Lanes carries the raw per-lane views).
+	Exec *exec.Result
+}
+
+// RunBatch simulates Options.Batch independent input sets through the one
+// compiled graph in a single batched run. inputs binds the baseline streams
+// every lane defaults to (and lane 0 always consumes); laneInputs[l], when
+// non-nil, rebinds lane l's named inputs (lane 0's entry is ignored). Every
+// stream must match the program's declared input length.
+func (u *Unit) RunBatch(inputs map[string][]value.Value, laneInputs []map[string][]value.Value) (*BatchRunResult, error) {
+	b := u.opts.Batch
+	if b < 2 {
+		return nil, fmt.Errorf("core: RunBatch requires Options.Batch > 1, have %d", b)
+	}
+	for l, li := range laneInputs {
+		for name, vals := range li {
+			if _, ok := u.Compiled.Inputs[name]; !ok {
+				return nil, fmt.Errorf("core: lane %d binds unknown input %s", l, name)
+			}
+			if want := u.Compiled.InputLen(name); len(vals) != want {
+				return nil, fmt.Errorf("core: lane %d input %s has %d elements, want %d", l, name, len(vals), want)
+			}
+		}
+	}
+	if err := u.Compiled.SetInputs(inputs); err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(u.Compiled.Graph, exec.Options{
+		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
+		Workers: u.opts.Workers, Ctx: u.opts.Ctx, Batch: b, LaneInputs: laneInputs,
+	})
+	if err != nil && res == nil {
+		return nil, err
+	}
+	out := &BatchRunResult{Exec: res, Lanes: make([]*RunResult, b)}
+	for l := 0; l < b; l++ {
+		lexec := res.Lane(l)
+		rr := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: lexec}
+		for name, rng := range u.Compiled.Outputs {
+			elems := lexec.Output(name)
+			if err == nil && len(elems) != rng.Len() {
+				return nil, fmt.Errorf("core: lane %d output %s produced %d of %d elements (pipeline stalled?)\n%s",
+					l, name, len(elems), rng.Len(), exec.Describe(lexec))
+			}
+			rr.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: elems, Lo2: rng.Lo2, W: rng.Width()}
+		}
+		out.Lanes[l] = rr
+	}
+	if err != nil {
+		// MaxCycles exhaustion or cancellation: hand back every lane's
+		// partial view alongside the wrapped error.
+		return out, fmt.Errorf("%w\n%s", err, exec.Describe(res))
 	}
 	return out, nil
 }

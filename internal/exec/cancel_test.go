@@ -116,6 +116,109 @@ func TestCancelMidRunReturnsPartial(t *testing.T) {
 	}
 }
 
+// TestCancelMidBatchPartialAllLanes cancels a B>1 run mid-flight (via the
+// lane-0 debug hook, which fires deterministically) and checks every lane
+// comes back with a deterministic partial Result: Canceled set, the
+// canceled diagnostic leading Stalled, outputs a prefix of the full run,
+// and all lanes stopped at the same cancellation cycle (lanes advance in
+// lockstep within a worker).
+func TestCancelMidBatchPartialAllLanes(t *testing.T) {
+	n := 4 * CancelCadence
+	const b = 4
+	full, err := Run(cancelChain(n, 8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			fired := 0
+			opt := Options{Ctx: ctx, Batch: b, Workers: workers}
+			opt.Trace = func(cycle int, node *graph.Node, out value.Value) {
+				fired++
+				if fired == n { // roughly the middle of the run
+					cancel()
+				}
+			}
+			res, err := Run(cancelChain(n, 8), opt)
+			if err == nil {
+				t.Fatal("expected cancellation error")
+			}
+			if res == nil || !res.Canceled {
+				t.Fatal("expected canceled partial result")
+			}
+			if len(res.Lanes) != b {
+				t.Fatalf("canceled result carries %d lanes, want %d", len(res.Lanes), b)
+			}
+			if !res.Lanes[0].Canceled {
+				t.Fatal("lane 0 (whose debug hook fired the cancel mid-run) not marked Canceled")
+			}
+			for l := 0; l < b; l++ {
+				lr := res.Lanes[l]
+				got, want := lr.Outputs["out"], full.Outputs["out"]
+				if lr.Canceled {
+					// A canceled lane is a deterministic prefix of the full
+					// run, cut at the poll cycle that observed the cancel.
+					if lr.Clean {
+						t.Errorf("lane %d: canceled lane reported Clean", l)
+					}
+					if len(lr.Stalled) == 0 || !strings.HasPrefix(lr.Stalled[0], "canceled:") {
+						t.Errorf("lane %d: Stalled should lead with the canceled diagnostic, got %v", l, lr.Stalled)
+					}
+					if len(got) >= len(want) {
+						t.Errorf("lane %d: canceled lane produced the full %d-value output", l, len(got))
+					}
+				} else if len(got) != len(want) {
+					// A lane whose worker finished before the cancel landed
+					// (possible only at Workers>1) must be complete.
+					t.Errorf("lane %d: uncanceled lane produced %d of %d values", l, len(got), len(want))
+				}
+				for i := range got {
+					if !value.Equal(got[i], want[i]) {
+						t.Fatalf("lane %d: partial output[%d] = %v, full run has %v", l, i, got[i], want[i])
+					}
+				}
+			}
+			if workers == 1 {
+				// One worker advances all lanes in lockstep, so every lane
+				// observes the cancel at the same poll cycle and the partial
+				// result is fully deterministic across lanes.
+				for l := 1; l < b; l++ {
+					if res.Lanes[l].Cycles != res.Lanes[0].Cycles {
+						t.Errorf("lane %d stopped at cycle %d, lane 0 at %d",
+							l, res.Lanes[l].Cycles, res.Lanes[0].Cycles)
+					}
+					if len(res.Lanes[l].Outputs["out"]) != len(res.Lanes[0].Outputs["out"]) {
+						t.Errorf("lane %d partial output length diverges from lane 0", l)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCancelPreFiredBatch: a pre-fired context at B>1 is seen at the first
+// cadence poll on every worker; all lanes report canceled at cycle 0.
+func TestCancelPreFiredBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(cancelChain(4*CancelCadence, 8), Options{Ctx: ctx, Batch: 4, Workers: 2})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if res == nil || !res.Canceled {
+		t.Fatal("expected canceled partial result")
+	}
+	for l, lr := range res.Lanes {
+		if !lr.Canceled {
+			t.Errorf("lane %d not marked Canceled", l)
+		}
+		if lr.Cycles > CancelCadence {
+			t.Errorf("lane %d simulated %d cycles pre-canceled, want <= %d", l, lr.Cycles, CancelCadence)
+		}
+	}
+}
+
 // TestNilContextUnperturbed pins the zero-perturbation guarantee: attaching
 // no context leaves the run byte-identical to one with a never-firing one.
 func TestNilContextUnperturbed(t *testing.T) {

@@ -74,6 +74,26 @@ type Options struct {
 	// check per cadence window, preserving the zero-perturbation
 	// guarantee; an un-canceled Ctx never alters results or cycle counts.
 	Ctx context.Context
+	// Batch widens the run to B independent token lanes advancing through
+	// one compiled graph in a single Run: every arc slot, source position,
+	// and firing counter is replicated per lane (structure-of-arrays,
+	// lane-minor), so the per-cycle candidate walk and instruction decode
+	// are paid once per batch instead of once per stream. 0 or 1 runs the
+	// scalar engine; at most MaxBatch lanes (the candidate set keeps one
+	// 64-bit lane mask per cell). Lane 0 always consumes the streams bound
+	// on the graph and is byte-identical to a scalar run — outputs,
+	// arrival cycles, firings, stall diagnostics, and the lane-0 trace
+	// event stream all match. When Batch > 1, Workers shards the run by
+	// contiguous lane ranges instead of by graph partition: lanes never
+	// interact, so the workers need no barriers and determinism holds by
+	// construction.
+	Batch int
+	// LaneInputs supplies per-lane source streams for a batched run,
+	// keyed by source-cell label (the declared input name): LaneInputs[l]
+	// feeds lane l. A nil entry, a missing key, and always lane 0 fall
+	// back to the stream bound on the graph. len(LaneInputs) must not
+	// exceed Batch.
+	LaneInputs []map[string][]value.Value
 }
 
 // CancelCadence is how many simulated cycles pass between polls of
@@ -122,6 +142,13 @@ type Result struct {
 	// is separate from Stalled so stall diagnostics stay byte-identical
 	// across worker counts.
 	ShardDiag []string
+	// Batch is the lane count of a batched run (0 for scalar runs).
+	Batch int
+	// Lanes holds per-lane views of a batched run (nil for scalar runs).
+	// Lanes[0] describes the same lane as the top-level fields, which
+	// always report lane 0 so existing consumers observe exactly what a
+	// scalar run would have produced.
+	Lanes []LaneResult
 }
 
 // Output returns the stream received by the sink with the given label.
@@ -228,6 +255,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	maxCycles := opt.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
+	}
+	if b := opt.Batch; b > 1 {
+		return runBatched(g, opt, maxCycles, b)
 	}
 	if w := opt.Workers; w > 1 {
 		if w > g.NumNodes() {
@@ -573,6 +603,44 @@ func ApplyOp(op graph.Op, v []value.Value) value.Value {
 	}
 }
 
+// applyBinary is ApplyOp for two-operand cells with the operands passed in
+// registers — the batched planner's hot path, where a scratch-slice
+// round-trip per lane would dominate the amortized firing cost.
+func applyBinary(op graph.Op, a, b value.Value) value.Value {
+	switch op {
+	case graph.OpAdd:
+		return value.Add(a, b)
+	case graph.OpSub:
+		return value.Sub(a, b)
+	case graph.OpMul:
+		return value.Mul(a, b)
+	case graph.OpDiv:
+		return value.Div(a, b)
+	case graph.OpMin:
+		return value.Min(a, b)
+	case graph.OpMax:
+		return value.Max(a, b)
+	case graph.OpLT:
+		return value.LT(a, b)
+	case graph.OpLE:
+		return value.LE(a, b)
+	case graph.OpGT:
+		return value.GT(a, b)
+	case graph.OpGE:
+		return value.GE(a, b)
+	case graph.OpEQ:
+		return value.EQ(a, b)
+	case graph.OpNE:
+		return value.NE(a, b)
+	case graph.OpAnd:
+		return value.And(a, b)
+	case graph.OpOr:
+		return value.Or(a, b)
+	default:
+		panic(fmt.Sprintf("exec: applyBinary on %s", op))
+	}
+}
+
 // apply commits the cycle's firings and updates the candidate set.
 func (s *sim) apply(cycle int, plans []firing) {
 	s.nextCand.reset()
@@ -648,6 +716,13 @@ func appendArrPrealloc(s []Arrival, a Arrival, hint int) []Arrival {
 		s = make([]Arrival, 0, hint)
 	}
 	return append(s, a)
+}
+
+func appendCycPrealloc(s []int64, c int64, hint int) []int64 {
+	if s == nil && hint > 0 {
+		s = make([]int64, 0, hint)
+	}
+	return append(s, c)
 }
 
 // drainState reports whether the quiescent machine is fully drained and

@@ -57,6 +57,35 @@ func BenchmarkKernelCyclesPerSec(b *testing.B) {
 	b.ReportMetric(float64(totalCycles)/b.Elapsed().Seconds(), "cycles/sec")
 }
 
+// BenchmarkBatchedCyclesPerSec measures aggregate lane-cycle throughput of
+// the batched engine: B lanes advancing through one compiled graph count B
+// lane-cycles per simulated cycle, so the metric divided by the B=1 rate
+// is the amortization factor the E20 experiment gates on.
+func BenchmarkBatchedCyclesPerSec(b *testing.B) {
+	for _, bb := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("B%d", bb), func(b *testing.B) {
+			totalLaneCycles := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := wideBenchGraph(8, 256)
+				b.StartTimer()
+				res, err := Run(g, Options{Batch: bb})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bb > 1 {
+					for _, lr := range res.Lanes {
+						totalLaneCycles += lr.Cycles
+					}
+				} else {
+					totalLaneCycles += res.Cycles
+				}
+			}
+			b.ReportMetric(float64(totalLaneCycles)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}
+
 // BenchmarkShardedCyclesPerSec measures the sharded parallel engine at the
 // contract's worker counts on the same wide workload. P=1 is the sequential
 // kernel; the per-P wall rates expose the barrier and merge overhead, and on

@@ -8,6 +8,7 @@ import (
 
 	"staticpipe/internal/exec"
 	"staticpipe/internal/graph"
+	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
 )
 
@@ -58,6 +59,119 @@ func TestMachineCancelPreFiredContext(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// cancelTracer cancels a context after the at-th firing event; attached to
+// lane 0 it stops a batched run deterministically mid-flight.
+type cancelTracer struct {
+	fired  int
+	at     int
+	cancel context.CancelFunc
+}
+
+func (c *cancelTracer) Start(trace.Meta) {}
+func (c *cancelTracer) Emit(e trace.Event) {
+	if e.Kind == trace.KindFiring {
+		c.fired++
+		if c.fired == c.at {
+			c.cancel()
+		}
+	}
+}
+
+// TestMachineCancelMidBatchPartialAllLanes cancels a B>1 machine run
+// mid-flight (via lane 0's tracer, which fires deterministically) and
+// checks every lane comes back with a deterministic partial Result:
+// Canceled set, the canceled diagnostic leading Stalled, and outputs a
+// prefix of the full run. A lane on another worker may instead complete
+// before the cancel lands — then it must be complete.
+func TestMachineCancelMidBatchPartialAllLanes(t *testing.T) {
+	n := 2 * exec.CancelCadence
+	const b = 4
+	full, err := Run(cancelChain(n, 4), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			res, err := Run(cancelChain(n, 4), Config{
+				Ctx: ctx, Batch: b, Workers: workers,
+				Tracer: &cancelTracer{at: n, cancel: cancel}, // roughly mid-run
+			})
+			if err == nil {
+				t.Fatal("expected cancellation error")
+			}
+			if res == nil || !res.Canceled {
+				t.Fatal("expected canceled partial result")
+			}
+			if len(res.Lanes) != b {
+				t.Fatalf("canceled result carries %d lanes, want %d", len(res.Lanes), b)
+			}
+			if !res.Lanes[0].Canceled {
+				t.Fatal("lane 0 (whose tracer fired the cancel mid-run) not marked Canceled")
+			}
+			for l := 0; l < b; l++ {
+				lr := res.Lanes[l]
+				got, want := lr.Outputs["out"], full.Outputs["out"]
+				if lr.Canceled {
+					if lr.Clean {
+						t.Errorf("lane %d: canceled lane reported Clean", l)
+					}
+					if len(lr.Stalled) == 0 || !strings.HasPrefix(lr.Stalled[0], "canceled:") {
+						t.Errorf("lane %d: Stalled should lead with the canceled diagnostic, got %v", l, lr.Stalled)
+					}
+					if len(got) >= len(want) {
+						t.Errorf("lane %d: canceled lane produced the full %d-value output", l, len(got))
+					}
+				} else if len(got) != len(want) {
+					// Only possible at Workers>1: the lane's worker finished
+					// before the cancel landed.
+					t.Errorf("lane %d: uncanceled lane produced %d of %d values", l, len(got), len(want))
+				}
+				for i := range got {
+					if !value.Equal(got[i], want[i]) {
+						t.Fatalf("lane %d: partial output[%d] = %v, full run has %v", l, i, got[i], want[i])
+					}
+				}
+			}
+			if workers == 1 {
+				// One worker advances all lanes in lockstep: every lane
+				// observes the cancel at the same poll cycle.
+				for l := 1; l < b; l++ {
+					if res.Lanes[l].Cycles != res.Lanes[0].Cycles {
+						t.Errorf("lane %d stopped at cycle %d, lane 0 at %d",
+							l, res.Lanes[l].Cycles, res.Lanes[0].Cycles)
+					}
+					if len(res.Lanes[l].Outputs["out"]) != len(res.Lanes[0].Outputs["out"]) {
+						t.Errorf("lane %d partial output length diverges from lane 0", l)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMachineCancelPreFiredBatch: a pre-fired context at B>1 is seen at the
+// first cadence poll on every worker; all lanes report canceled at once.
+func TestMachineCancelPreFiredBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(cancelChain(2*exec.CancelCadence, 4), Config{Ctx: ctx, Batch: 4, Workers: 2})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if res == nil || !res.Canceled {
+		t.Fatal("expected canceled partial result")
+	}
+	for l, lr := range res.Lanes {
+		if !lr.Canceled {
+			t.Errorf("lane %d not marked Canceled", l)
+		}
+		if lr.Cycles > exec.CancelCadence {
+			t.Errorf("lane %d simulated %d cycles pre-canceled, want <= %d", l, lr.Cycles, exec.CancelCadence)
+		}
 	}
 }
 

@@ -139,6 +139,22 @@ type Config struct {
 	// first) together with a wrapping error. A nil Ctx costs one nil check
 	// per cadence window; an un-canceled Ctx never alters results.
 	Ctx context.Context
+	// Batch widens the run to B independent input streams ("lanes"): one
+	// placed machine instance per lane advances through the same expanded
+	// graph in lockstep, so the packet-level cycle accounting of every
+	// lane is exactly what a scalar run of that lane's streams would
+	// report. Lane 0 always consumes the graph-bound streams and its view
+	// (the top-level Result fields, the Tracer event stream) is
+	// byte-identical to a scalar run. At most exec.MaxBatch lanes. When
+	// Batch > 1, Workers shards the run by lane ranges instead of machine
+	// endpoints.
+	Batch int
+	// LaneInputs supplies per-lane source streams for a batched run,
+	// keyed by source-cell label: LaneInputs[l] rebinds lane l's sources;
+	// a nil map or a missing key falls back to the stream bound on the
+	// graph. Lane 0 ignores its entry. len(LaneInputs) must not exceed
+	// Batch.
+	LaneInputs []map[string][]value.Value
 }
 
 func (c Config) withDefaults() Config {
@@ -198,7 +214,36 @@ type Result struct {
 	// halted without quiescing. Separate from Stalled so stall
 	// diagnostics stay byte-identical across worker counts.
 	ShardDiag []string
+	// Batch is the lane count of a batched run (0 for scalar runs); the
+	// top-level fields above are lane 0's view.
+	Batch int
+	// Lanes holds each lane's view of a batched run; nil for scalar runs.
+	Lanes []LaneResult
 }
+
+// LaneResult is one lane's view of a batched machine run. Its fields mean
+// exactly what the same-named Result fields mean for a scalar run of that
+// lane's streams — the lockstep engine simulates one placed machine per
+// lane, so per-lane packet counts and busy counters are preserved.
+type LaneResult struct {
+	Cycles       int
+	Outputs      map[string][]value.Value
+	Arrivals     map[string][]exec.Arrival
+	Packets      map[string]int
+	AMPackets    int
+	TotalPackets int
+	PEBusy       []int
+	FUBusy       []int
+	Clean        bool
+	Canceled     bool
+	Stalled      []string
+}
+
+// Output returns the stream received by the lane's sink with the given label.
+func (r *LaneResult) Output(label string) []value.Value { return r.Outputs[label] }
+
+// II returns the lane's steady-state initiation interval at the named sink.
+func (r *LaneResult) II(label string) float64 { return exec.SteadyII(r.Arrivals[label]) }
 
 // Output returns the stream received by the sink with the given label.
 func (r *Result) Output(label string) []value.Value { return r.Outputs[label] }
@@ -236,6 +281,9 @@ type cell struct {
 	inHas       []bool
 	pendingAcks int
 	srcPos      int
+	// stream is the source cell's bound stream — the graph's, unless a
+	// batched lane rebound it via Config.LaneInputs. Nil for non-sources.
+	stream []value.Value
 }
 
 // fu is one pipelined function unit. In-flight operations sit on a time
@@ -275,8 +323,9 @@ type machine struct {
 	outCap    int // preallocation hint for sink streams
 	tr        trace.Tracer
 	prog      *trace.Progress
-	fired     []bool // per-cell fired-this-cycle scratch (tracing only)
-	canceled  bool   // Config.Ctx fired mid-run (set by the cycle loops)
+	laneCtr   *trace.LaneCounters // this lane's live counters in a batched run
+	fired     []bool              // per-cell fired-this-cycle scratch (tracing only)
+	canceled  bool                // Config.Ctx fired mid-run (set by the cycle loops)
 
 	// plan scratch, reused across planCell calls (copied out when a plan's
 	// slices must outlive the call — operation packets ship them to FUs).
@@ -324,6 +373,53 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	g = g.ExpandFIFOs()
+	if cfg.Batch > 1 {
+		return runBatched(g, cfg)
+	}
+	m, err := newMachine(g, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	if w := cfg.Workers; w > 1 {
+		if n := m.numEndpoints(); w > n {
+			w = n
+		}
+		if w > 1 {
+			return m.runSharded(w)
+		}
+	}
+
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
+	cycle := 0
+	for ; cycle < cfg.MaxCycles; cycle++ {
+		if done != nil && cycle&(exec.CancelCadence-1) == 0 {
+			select {
+			case <-done:
+				m.canceled = true
+			default:
+			}
+			if m.canceled {
+				break
+			}
+		}
+		if m.prog != nil {
+			m.prog.Cycle.Store(int64(cycle))
+		}
+		if !m.step(cycle) {
+			break
+		}
+	}
+	return m.finish(cycle)
+}
+
+// newMachine builds and places one machine instance over the validated,
+// FIFO-expanded graph. laneStreams, when non-nil, rebinds source streams by
+// label (a batched lane's inputs); missing labels keep the graph's stream.
+func newMachine(g *graph.Graph, cfg Config, laneStreams map[string][]value.Value) (*machine, error) {
 	m := &machine{
 		cfg:       cfg,
 		g:         g,
@@ -369,8 +465,15 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 			m.res.Outputs[n.Label] = nil
 			m.res.Arrivals[n.Label] = nil
 		case graph.OpSource:
-			if len(n.Stream) > m.outCap {
-				m.outCap = len(n.Stream)
+			c := &m.cells[n.ID]
+			c.stream = n.Stream
+			if laneStreams != nil {
+				if s, ok := laneStreams[n.Label]; ok {
+					c.stream = s
+				}
+			}
+			if len(c.stream) > m.outCap {
+				m.outCap = len(c.stream)
 			}
 		}
 	}
@@ -382,40 +485,7 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 			c.inHas[a.ToPort] = true
 		}
 	}
-
-	if w := cfg.Workers; w > 1 {
-		if n := m.numEndpoints(); w > n {
-			w = n
-		}
-		if w > 1 {
-			return m.runSharded(w)
-		}
-	}
-
-	var done <-chan struct{}
-	if cfg.Ctx != nil {
-		done = cfg.Ctx.Done()
-	}
-	cycle := 0
-	for ; cycle < cfg.MaxCycles; cycle++ {
-		if done != nil && cycle&(exec.CancelCadence-1) == 0 {
-			select {
-			case <-done:
-				m.canceled = true
-			default:
-			}
-			if m.canceled {
-				break
-			}
-		}
-		if m.prog != nil {
-			m.prog.Cycle.Store(int64(cycle))
-		}
-		if !m.step(cycle) {
-			break
-		}
-	}
-	return m.finish(cycle)
+	return m, nil
 }
 
 // finish assembles the Result once the cycle loop (sequential or sharded)
@@ -762,10 +832,10 @@ func (m *machine) planCell(c *cell, sc *planScratch) (cellPlan, trace.Reason) {
 
 	switch n.Op {
 	case graph.OpSource:
-		if c.srcPos >= len(n.Stream) {
+		if c.srcPos >= len(c.stream) {
 			return pl, trace.ReasonDone
 		}
-		pl.out = n.Stream[c.srcPos]
+		pl.out = c.stream[c.srcPos]
 		pl.produced = true
 		pl.advance = true
 	case graph.OpCtlGen:
@@ -905,6 +975,9 @@ func (m *machine) fire(c *cell, now int) bool {
 		if m.prog != nil {
 			m.prog.Arrivals.Add(1)
 		}
+		if m.laneCtr != nil {
+			m.laneCtr.Arrivals.Add(1)
+		}
 	}
 	c.pendingAcks = len(pl.targets)
 	if pl.arith {
@@ -974,8 +1047,8 @@ func (m *machine) drainState() (bool, []string) {
 		n := c.node
 		switch n.Op {
 		case graph.OpSource:
-			if c.srcPos < len(n.Stream) {
-				stalled = append(stalled, fmt.Sprintf("%s: %d stream values unsent", n.Name(), len(n.Stream)-c.srcPos))
+			if c.srcPos < len(c.stream) {
+				stalled = append(stalled, fmt.Sprintf("%s: %d stream values unsent", n.Name(), len(c.stream)-c.srcPos))
 			}
 		case graph.OpCtlGen:
 			if t := n.Pattern.Len(); t >= 0 && c.srcPos < t {

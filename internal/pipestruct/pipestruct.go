@@ -261,6 +261,11 @@ func (r *Result) SetInput(name string, vals []value.Value) error {
 	return nil
 }
 
+// InputLen returns the declared element count of the named input (0 for an
+// unknown name) — the length every stream bound to it, including a batched
+// run's per-lane streams, must match.
+func (r *Result) InputLen(name string) int { return r.inputLen[name] }
+
 // SetInputs binds all input streams.
 func (r *Result) SetInputs(inputs map[string][]value.Value) error {
 	for name := range r.Inputs {

@@ -35,6 +35,16 @@ type Spec struct {
 	// fast-path jobs run sequentially, offloaded jobs use the configured
 	// shard width.
 	Workers int `json:"workers,omitempty"`
+	// Batch advances B independent copies of the input streams through
+	// one compiled graph in a single batched run (0 or 1 = scalar). Lane
+	// 0 consumes Inputs and its results are byte-identical to a scalar
+	// run; admission bills batched jobs at the amortized cost, not B
+	// scalar runs.
+	Batch int `json:"batch,omitempty"`
+	// LaneInputs rebinds input streams per lane of a batched job: entry
+	// l overrides lane l (nil entries, omitted names, and lane 0 fall
+	// back to Inputs). Requires Batch > 1 and len <= Batch.
+	LaneInputs []map[string]Stream `json:"lane_inputs,omitempty"`
 }
 
 // Stream is one input or output value stream. It marshals reals as plain
@@ -115,7 +125,9 @@ type Output struct {
 
 // JobResult is the simulation outcome shipped back to clients. For a
 // canceled or failed run it carries whatever the simulator produced up to
-// the halt, with Canceled/Stalled saying why it is partial.
+// the halt, with Canceled/Stalled saying why it is partial. For a batched
+// job the top-level fields are lane 0's view (byte-identical to a scalar
+// run) and Lanes carries every lane.
 type JobResult struct {
 	Cycles   int                `json:"cycles"`
 	Clean    bool               `json:"clean"`
@@ -123,6 +135,19 @@ type JobResult struct {
 	Stalled  []string           `json:"stalled,omitempty"`
 	Outputs  map[string]Output  `json:"outputs"`
 	II       map[string]float64 `json:"ii,omitempty"`
+	// Batch echoes the lane count of a batched job (0 for scalar).
+	Batch int `json:"batch,omitempty"`
+	// Lanes holds one view per lane of a batched job; Lanes[0] repeats
+	// the top-level fields.
+	Lanes []LaneView `json:"lanes,omitempty"`
+}
+
+// LaneView is one lane of a batched job's result.
+type LaneView struct {
+	Cycles   int               `json:"cycles"`
+	Clean    bool              `json:"clean"`
+	Canceled bool              `json:"canceled,omitempty"`
+	Outputs  map[string]Output `json:"outputs"`
 }
 
 // Job is one admitted submission.
@@ -143,6 +168,10 @@ type Job struct {
 	unit    *core.Unit
 	workers int
 	maxCyc  int
+	// cells is the compiled graph's cell count, kept from admission so
+	// completion can score estimate-vs-actual cost without recomputing
+	// graph statistics.
+	cells int64
 
 	ctx      context.Context
 	cancelFn context.CancelFunc

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -65,6 +66,18 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	family(w, "staticpipe_serve_offload_threshold", "gauge",
 		"Admission cost threshold above which jobs are queued.")
 	fmt.Fprintf(w, "staticpipe_serve_offload_threshold %d\n", s.cfg.OffloadThreshold)
+
+	family(w, "staticpipe_serve_cost_ratio", "histogram",
+		"Actual simulation work (cells x cycles, lane-aggregated) over the admission estimate, per finished job.")
+	cum := int64(0)
+	for i, bound := range ratioBounds {
+		cum += s.costRatio.counts[i]
+		fmt.Fprintf(w, "staticpipe_serve_cost_ratio_bucket{le=%q} %d\n",
+			strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "staticpipe_serve_cost_ratio_bucket{le=\"+Inf\"} %d\n", s.costRatio.count)
+	fmt.Fprintf(w, "staticpipe_serve_cost_ratio_sum %g\n", s.costRatio.sum)
+	fmt.Fprintf(w, "staticpipe_serve_cost_ratio_count %d\n", s.costRatio.count)
 }
 
 // Counters returns the per-tenant admission ledger (submitted, admitted,

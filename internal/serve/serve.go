@@ -17,6 +17,7 @@ import (
 	"staticpipe/internal/exec"
 	"staticpipe/internal/machine"
 	"staticpipe/internal/telemetry"
+	"staticpipe/internal/value"
 )
 
 // Simulator models a job can request.
@@ -120,6 +121,31 @@ type Service struct {
 	evicted   map[string]int64
 	running   int
 	poolBusy  int
+	// costRatio scores the admission cost model: actual simulation work
+	// (cells × simulated cycles, lane-aggregated for batched jobs) over
+	// the admission-time estimate, one observation per job that ran.
+	costRatio ratioHist
+}
+
+// ratioBounds are the staticpipe_serve_cost_ratio histogram's upper
+// bucket bounds. 1.0 separates overestimates (the safe side for an
+// admission bound) from underestimates.
+var ratioBounds = [...]float64{0.1, 0.25, 0.5, 1, 2, 4}
+
+// ratioHist is one fixed-bucket histogram; guarded by Service.mu.
+type ratioHist struct {
+	counts [len(ratioBounds) + 1]int64 // +1 for the +Inf bucket
+	sum    float64
+	count  int64
+}
+
+func (h *ratioHist) observe(v float64) {
+	i := 0
+	for ; i < len(ratioBounds) && v > ratioBounds[i]; i++ {
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
 }
 
 // New starts a service: PoolWorkers goroutines consuming the offload
@@ -151,7 +177,7 @@ func (s *Service) Config() Config { return s.cfg }
 
 // newJob allocates a job with its cancellation scope rooted in the
 // service (Close's hard phase cancels every in-flight run).
-func (s *Service) newJob(spec Spec, u *core.Unit, cost int64) *Job {
+func (s *Service) newJob(spec Spec, u *core.Unit, cost, cells int64) *Job {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
 		Tenant:   spec.Tenant,
@@ -161,6 +187,7 @@ func (s *Service) newJob(spec Spec, u *core.Unit, cost int64) *Job {
 		unit:     u,
 		workers:  spec.Workers,
 		maxCyc:   spec.MaxCycles,
+		cells:    cells,
 		ctx:      ctx,
 		cancelFn: cancel,
 		done:     make(chan struct{}),
@@ -250,6 +277,7 @@ func (s *Service) execute(j *Job) {
 // (cancellation or a cycle-bound halt).
 func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 	inputs := streamInputs(j.spec.Inputs)
+	laneIn := laneStreamInputs(j.spec.LaneInputs)
 	var prog = j.prog
 	switch j.Model {
 	case ModelMachine:
@@ -258,6 +286,7 @@ func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 		}
 		mres, err := machine.Run(j.unit.Compiled.Graph, machine.Config{
 			MaxCycles: j.maxCyc, Workers: j.workers, Progress: prog, Ctx: ctx,
+			Batch: j.spec.Batch, LaneInputs: laneIn,
 		})
 		if mres == nil {
 			return nil, err
@@ -270,9 +299,48 @@ func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 			res.Outputs[name] = Output{Lo: rng.Lo, Lo2: rng.Lo2, W: rng.Width(), Values: mres.Output(name)}
 			res.II[name] = mres.II(name)
 		}
+		if mres.Batch > 1 {
+			res.Batch = mres.Batch
+			for l := range mres.Lanes {
+				lr := &mres.Lanes[l]
+				lv := LaneView{Cycles: lr.Cycles, Clean: lr.Clean, Canceled: lr.Canceled,
+					Outputs: map[string]Output{}}
+				for name, rng := range j.unit.Compiled.Outputs {
+					lv.Outputs[name] = Output{Lo: rng.Lo, Lo2: rng.Lo2, W: rng.Width(), Values: lr.Output(name)}
+				}
+				res.Lanes = append(res.Lanes, lv)
+			}
+		}
 		return res, err
 	default: // ModelExec
 		j.unit.Bind(ctx, prog, j.workers, j.maxCyc)
+		if j.spec.Batch > 1 {
+			br, err := j.unit.RunBatch(inputs, laneIn)
+			if br == nil {
+				return nil, err
+			}
+			// Top-level fields are lane 0's view, matching the scalar
+			// result a client would get from the same spec without Batch.
+			l0 := br.Lanes[0]
+			res := &JobResult{
+				Batch:  br.Exec.Batch,
+				Cycles: l0.Exec.Cycles, Clean: l0.Exec.Clean, Canceled: br.Exec.Canceled,
+				Stalled: l0.Exec.Stalled, Outputs: map[string]Output{}, II: map[string]float64{},
+			}
+			for name, av := range l0.Outputs {
+				res.Outputs[name] = Output{Lo: av.Lo, Lo2: av.Lo2, W: av.W, Values: av.Elems}
+				res.II[name] = l0.Exec.II(name)
+			}
+			for _, rr := range br.Lanes {
+				lv := LaneView{Cycles: rr.Exec.Cycles, Clean: rr.Exec.Clean,
+					Canceled: rr.Exec.Canceled, Outputs: map[string]Output{}}
+				for name, av := range rr.Outputs {
+					lv.Outputs[name] = Output{Lo: av.Lo, Lo2: av.Lo2, W: av.W, Values: av.Elems}
+				}
+				res.Lanes = append(res.Lanes, lv)
+			}
+			return res, err
+		}
 		rr, err := j.unit.Run(inputs)
 		if rr == nil {
 			return nil, err
@@ -287,6 +355,22 @@ func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 		}
 		return res, err
 	}
+}
+
+// laneStreamInputs converts the wire-format per-lane overrides to the
+// simulator cores' value-slice form. Nil in, nil out.
+func laneStreamInputs(in []map[string]Stream) []map[string][]value.Value {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]map[string][]value.Value, len(in))
+	for l, m := range in {
+		if m == nil {
+			continue
+		}
+		out[l] = streamInputs(m)
+	}
+	return out
 }
 
 // complete records a job's terminal transition exactly once: lifecycle
@@ -306,6 +390,19 @@ func (s *Service) complete(j *Job, state State, res *JobResult, errMsg string, e
 	s.mu.Lock()
 	if began {
 		s.running--
+	}
+	if began && res != nil && j.Cost > 0 {
+		// Score the admission estimate against the work the job actually
+		// did: cells × simulated cycles, summed over lanes when batched
+		// (the denominator already carries the amortized batch discount).
+		total := int64(res.Cycles)
+		if len(res.Lanes) > 0 {
+			total = 0
+			for _, lv := range res.Lanes {
+				total += int64(lv.Cycles)
+			}
+		}
+		s.costRatio.observe(float64(j.cells*total) / float64(j.Cost))
 	}
 	s.completed[[2]string{j.Tenant, string(state)}]++
 	s.retireLocked(j)

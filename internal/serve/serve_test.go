@@ -420,7 +420,8 @@ func TestCostEstimateOrdering(t *testing.T) {
 		}
 		sp := spec(p)
 		sp.MaxCycles = maxCycles
-		return estimateCost(u, sp)
+		cost, _ := estimateCost(u, sp)
+		return cost
 	}
 	small := mk(progs.Fig2(16), exec.DefaultMaxCycles)
 	big := mk(progs.Fig2(4096), exec.DefaultMaxCycles)

@@ -182,6 +182,61 @@ func WriteMetrics(w io.Writer, reg *Registry) {
 		}
 	}
 
+	// Per-lane families exist only for batched runs (-batch > 1);
+	// scalar runs publish no series, mirroring the shard families.
+	type laneRow struct {
+		run   string
+		lanes []*trace.LaneCounters
+	}
+	var batched []laneRow
+	for i, r := range runs {
+		if l := r.prog.BatchLanes(); len(l) > 0 {
+			batched = append(batched, laneRow{run: infos[i].Label, lanes: l})
+		}
+	}
+	family(w, "staticpipe_batch_lanes", "gauge", "Configured lane count of the batched run.")
+	for _, row := range batched {
+		fmt.Fprintf(w, "staticpipe_batch_lanes{%s} %d\n", lbl("run", row.run), len(row.lanes))
+	}
+	family(w, "staticpipe_batch_lanes_active", "gauge", "Lanes still advancing (sources unexhausted or tokens in flight).")
+	for _, row := range batched {
+		active := 0
+		for _, lc := range row.lanes {
+			if lc.Done.Load() == 0 {
+				active++
+			}
+		}
+		fmt.Fprintf(w, "staticpipe_batch_lanes_active{%s} %d\n", lbl("run", row.run), active)
+	}
+	family(w, "staticpipe_batch_lane_cycles", "gauge", "Most recently simulated cycle of each lane.")
+	for _, row := range batched {
+		for li, lc := range row.lanes {
+			fmt.Fprintf(w, "staticpipe_batch_lane_cycles{%s,%s} %d\n",
+				lbl("run", row.run), lbl("lane", strconv.Itoa(li)), lc.Cycles.Load())
+		}
+	}
+	family(w, "staticpipe_batch_lane_arrivals_total", "counter", "Values received by each lane's sinks so far.")
+	for _, row := range batched {
+		for li, lc := range row.lanes {
+			fmt.Fprintf(w, "staticpipe_batch_lane_arrivals_total{%s,%s} %d\n",
+				lbl("run", row.run), lbl("lane", strconv.Itoa(li)), lc.Arrivals.Load())
+		}
+	}
+	family(w, "staticpipe_batch_progress_skew", "gauge", "Cycle spread between the fastest and slowest lane (0 = lockstep).")
+	for _, row := range batched {
+		min, max := int64(-1), int64(0)
+		for _, lc := range row.lanes {
+			c := lc.Cycles.Load()
+			if min < 0 || c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		fmt.Fprintf(w, "staticpipe_batch_progress_skew{%s} %d\n", lbl("run", row.run), max-min)
+	}
+
 	family(w, "staticpipe_cell_interfiring_cycles", "histogram", "Inter-firing interval per cell, in cycles (log2 buckets).")
 	for i, in := range infos {
 		meta := snaps[i].Meta()

@@ -370,3 +370,37 @@ func TestShardMetricFamilies(t *testing.T) {
 		t.Error("sequential run published shard series")
 	}
 }
+
+func TestBatchMetricFamilies(t *testing.T) {
+	reg := NewRegistry()
+	scalar := reg.NewRun("scalar", "exec")
+	scalar.Tracer().Start(startMeta())
+	bat := reg.NewRun("bat", "exec")
+	bat.Tracer().Start(startMeta())
+	lanes := bat.Progress().InitLanes(3)
+	lanes[0].Cycles.Store(120)
+	lanes[0].Arrivals.Store(16)
+	lanes[0].Done.Store(1)
+	lanes[1].Cycles.Store(117)
+	lanes[1].Arrivals.Store(14)
+	lanes[2].Cycles.Store(119)
+	lanes[2].Arrivals.Store(15)
+
+	var b strings.Builder
+	WriteMetrics(&b, reg)
+	out := b.String()
+	for _, want := range []string{
+		`staticpipe_batch_lanes{run="bat"} 3`,
+		`staticpipe_batch_lanes_active{run="bat"} 2`,
+		`staticpipe_batch_lane_cycles{run="bat",lane="1"} 117`,
+		`staticpipe_batch_lane_arrivals_total{run="bat",lane="2"} 15`,
+		`staticpipe_batch_progress_skew{run="bat"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if strings.Contains(out, `run="scalar",lane=`) || strings.Contains(out, `staticpipe_batch_lanes{run="scalar"}`) {
+		t.Error("scalar run published batch series")
+	}
+}

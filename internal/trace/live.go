@@ -69,6 +69,10 @@ type Progress struct {
 	// (nil for sequential runs). Published atomically so a scrape racing
 	// the engine's InitShards sees either nothing or the full set.
 	shards atomic.Pointer[[]*ShardCounters]
+
+	// lanes points at the per-lane counter blocks of a batched run (nil
+	// for scalar runs). Published atomically like shards.
+	lanes atomic.Pointer[[]*LaneCounters]
 }
 
 // ShardCounters is the lock-free live progress block one shard of the
@@ -102,6 +106,41 @@ func (p *Progress) InitShards(n int) []*ShardCounters {
 // sequential (or has not initialized sharding yet).
 func (p *Progress) Shards() []*ShardCounters {
 	if v := p.shards.Load(); v != nil {
+		return *v
+	}
+	return nil
+}
+
+// LaneCounters is the lock-free live progress block one lane of a batched
+// run updates as it advances; the telemetry exporter reads it mid-run the
+// same way it reads Cycle/Arrivals. Lane progress skew — the spread
+// between the fastest and slowest live lane — falls directly out of the
+// per-lane Cycles values.
+type LaneCounters struct {
+	// Cycles is the most recent cycle this lane was still live at (its
+	// quiescence cycle once Done is set).
+	Cycles atomic.Int64
+	// Arrivals counts values this lane's sinks have received so far.
+	Arrivals atomic.Int64
+	// Done is 1 once the lane has quiesced (or been canceled).
+	Done atomic.Int64
+}
+
+// InitLanes installs n fresh per-lane counter blocks and returns them; the
+// batched engines call it once at run start.
+func (p *Progress) InitLanes(n int) []*LaneCounters {
+	l := make([]*LaneCounters, n)
+	for i := range l {
+		l[i] = &LaneCounters{}
+	}
+	p.lanes.Store(&l)
+	return l
+}
+
+// BatchLanes returns the per-lane counter blocks, or nil when the run is
+// scalar (or has not initialized batching yet).
+func (p *Progress) BatchLanes() []*LaneCounters {
+	if v := p.lanes.Load(); v != nil {
 		return *v
 	}
 	return nil

@@ -118,7 +118,9 @@ func (v Value) String() string {
 func (v Value) numeric() bool { return v.kind == Int || v.kind == Real }
 
 // binaryNumeric applies fi/fr after the usual promotion: Int op Int stays
-// Int, otherwise both operands promote to Real.
+// Int, otherwise both operands promote to Real. Callers on hot paths check
+// the all-Real case inline first — the closure indirection here is
+// measurable at simulator firing rates.
 func binaryNumeric(a, b Value, op string, fi func(int64, int64) int64, fr func(float64, float64) float64) Value {
 	if !a.numeric() || !b.numeric() {
 		panic(fmt.Sprintf("value: %s on %s and %s", op, a.kind, b.kind))
@@ -129,18 +131,44 @@ func binaryNumeric(a, b Value, op string, fi func(int64, int64) int64, fr func(f
 	return R(fr(a.AsReal(), b.AsReal()))
 }
 
-// Add returns a+b under Val promotion rules.
+// Add returns a+b under Val promotion rules. The all-Real case is inline
+// (simulator firing loops hit it once per token per lane); promotion and
+// type errors live in the outlined slow path.
 func Add(a, b Value) Value {
+	if a.kind == Real && b.kind == Real {
+		a.r += b.r
+		return a
+	}
+	return addSlow(a, b)
+}
+
+func addSlow(a, b Value) Value {
 	return binaryNumeric(a, b, "add", func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
 }
 
 // Sub returns a-b under Val promotion rules.
 func Sub(a, b Value) Value {
+	if a.kind == Real && b.kind == Real {
+		a.r -= b.r
+		return a
+	}
+	return subSlow(a, b)
+}
+
+func subSlow(a, b Value) Value {
 	return binaryNumeric(a, b, "sub", func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
 }
 
 // Mul returns a*b under Val promotion rules.
 func Mul(a, b Value) Value {
+	if a.kind == Real && b.kind == Real {
+		a.r *= b.r
+		return a
+	}
+	return mulSlow(a, b)
+}
+
+func mulSlow(a, b Value) Value {
 	return binaryNumeric(a, b, "mul", func(x, y int64) int64 { return x * y }, func(x, y float64) float64 { return x * y })
 }
 

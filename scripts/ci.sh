@@ -76,7 +76,38 @@ for prog in testdata/fig3.val testdata/example1.val; do
     }
     echo "byte-identical at P=4 on both cores: $prog"
 done
-rm -f /tmp/dfsim-ci /tmp/dfsim-seq.out /tmp/dfsim-par.out
+
+echo "== batched execution differential sweep =="
+# Widening arc state to B lanes must not perturb lane 0: dfsim's stdout with
+# -batch B is byte-identical to the scalar run on both simulator cores, with
+# and without lane sharding. (The per-lane summary goes to stderr.)
+for prog in testdata/fig3.val testdata/example1.val; do
+    /tmp/dfsim-ci "$prog" >/tmp/dfsim-seq.out
+    /tmp/dfsim-ci -machine "$prog" >/tmp/dfsim-mseq.out
+    for b in 4 16; do
+        for w in 1 4; do
+            /tmp/dfsim-ci -batch "$b" -workers "$w" "$prog" >/tmp/dfsim-par.out 2>/dev/null
+            cmp /tmp/dfsim-seq.out /tmp/dfsim-par.out || {
+                echo "batch sweep: exec lane 0 diverges at B=$b W=$w on $prog" >&2
+                exit 1
+            }
+            /tmp/dfsim-ci -machine -batch "$b" -workers "$w" "$prog" >/tmp/dfsim-par.out 2>/dev/null
+            cmp /tmp/dfsim-mseq.out /tmp/dfsim-par.out || {
+                echo "batch sweep: machine lane 0 diverges at B=$b W=$w on $prog" >&2
+                exit 1
+            }
+        done
+    done
+    echo "lane 0 byte-identical at B in {4,16}, W in {1,4}, both cores: $prog"
+done
+rm -f /tmp/dfsim-ci /tmp/dfsim-seq.out /tmp/dfsim-mseq.out /tmp/dfsim-par.out
+
+echo "== batched engine race pin =="
+# The batched engines' lane-sharded worker loops (contiguous lane ranges,
+# absolute lane-bit masks, mid-batch cancellation) get a dedicated repeated
+# race pass; the full-suite -race run exercises each shape only once.
+go test -race -count=3 -run 'Batch|CancelMidBatch' \
+    ./internal/exec/ ./internal/machine/ ./internal/core/ ./internal/serve/
 
 echo "== bounded fuzz =="
 go test -run '^$' -fuzz 'FuzzParse$'     -fuzztime 10s ./internal/val/
