@@ -19,6 +19,9 @@
 //	-fus n         machine function units (default 2)
 //	-ams n         machine array memories (default 2)
 //	-butterfly     use the butterfly routing network
+//	-place s       machine cell → PE placement: stage | random | hotspot |
+//	               mincost | profile (profile = silent pre-run, then re-plan
+//	               from the observed traffic); outputs are placement-invariant
 //	-todd          use Todd's for-iter scheme
 //	-no-balance    skip balancing
 //	-verify        cross-check against the reference interpreter
@@ -41,6 +44,7 @@ import (
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
 	"staticpipe/internal/machine"
+	"staticpipe/internal/place"
 	"staticpipe/internal/progs"
 	"staticpipe/internal/telemetry"
 	"staticpipe/internal/trace"
@@ -58,6 +62,7 @@ func main() {
 		ams       = flag.Int("ams", 2, "machine array memories")
 		workers   = flag.Int("workers", 0, "simulate with the sharded parallel engine using N workers (output is byte-identical)")
 		butterfly = flag.Bool("butterfly", false, "butterfly routing network")
+		placeMode = flag.String("place", "", "machine placement: stage | random | hotspot | mincost | profile")
 		todd      = flag.Bool("todd", false, "Todd's for-iter scheme")
 		noBal     = flag.Bool("no-balance", false, "skip balancing")
 		verify    = flag.Bool("verify", false, "cross-check against the interpreter")
@@ -155,6 +160,9 @@ func main() {
 			if *butterfly {
 				cfg.Network = machine.Butterfly
 			}
+			if err := applyPlacement(*placeMode, g, &cfg); err != nil {
+				fatal(err)
+			}
 			res, err := machine.Run(g, cfg)
 			if err != nil {
 				fatalPartial(err, res, machine.Describe)
@@ -222,6 +230,9 @@ func main() {
 		if *butterfly {
 			cfg.Network = machine.Butterfly
 		}
+		if err := applyPlacement(*placeMode, u.Compiled.Graph, &cfg); err != nil {
+			fatal(err)
+		}
 		res, err := machine.Run(u.Compiled.Graph, cfg)
 		if err != nil {
 			fatalPartial(err, res, machine.Describe)
@@ -274,6 +285,47 @@ func main() {
 	}
 	printOutputs(byName, *printN)
 	finish()
+}
+
+// applyPlacement resolves the -place flag into cfg's assignment strategy.
+// mincost plans from the static graph; profile first runs the machine once,
+// silently, under the baseline assignment to observe real traffic, then
+// plans from those metrics. Placement never changes what a run computes, so
+// the profile pre-run is safe to discard.
+func applyPlacement(mode string, g *graph.Graph, cfg *machine.Config) error {
+	switch mode {
+	case "":
+		return nil
+	case "stage":
+		cfg.Assign = machine.ByStage
+	case "random":
+		cfg.Assign = machine.Random
+	case "hotspot":
+		cfg.Assign = machine.HotSpot
+	case "mincost", "profile":
+		opts := place.Options{PEs: cfg.PEs}
+		if mode == "profile" {
+			m := trace.NewMetrics()
+			pre := *cfg
+			pre.Tracer = m
+			pre.Progress = nil
+			pre.Batch = 0
+			pre.LaneInputs = nil
+			if _, err := machine.Run(g, pre); err != nil {
+				return fmt.Errorf("placement profile pre-run: %w", err)
+			}
+			opts.Metrics = m
+		}
+		pl, err := place.Plan(g, opts)
+		if err != nil {
+			return err
+		}
+		cfg.Assign = machine.Placed
+		cfg.Placement = pl.PE
+	default:
+		return fmt.Errorf("unknown -place %q (want stage, random, hotspot, mincost or profile)", mode)
+	}
+	return nil
 }
 
 // laneFill builds per-lane input streams for -batch: lane l consumes the

@@ -18,6 +18,12 @@
 //	-pes/-fus/-ams machine shape (defaults 4/2/2)
 //	-butterfly     use the butterfly routing network
 //	-hotspot       pile every cell onto PE 0 (contention demo)
+//	-place s       re-place cells (stage | random | hotspot | mincost |
+//	               profile) and report a before/after contention verdict:
+//	               the baseline assignment (-hotspot or the default) runs
+//	               first, then the re-placed machine, and the final lines
+//	               grade the delta ("contention: improved | unchanged |
+//	               worse"). profile plans from the baseline run's metrics.
 //	-todd          use Todd's for-iter scheme
 //	-no-balance    skip balancing (see the unbalanced critical cycle)
 //	-trace FILE    write Chrome trace-event JSON to FILE
@@ -39,6 +45,7 @@ import (
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
 	"staticpipe/internal/machine"
+	"staticpipe/internal/place"
 	"staticpipe/internal/progs"
 	"staticpipe/internal/telemetry"
 	"staticpipe/internal/trace"
@@ -55,6 +62,7 @@ func main() {
 		ams       = flag.Int("ams", 2, "machine array memories")
 		butterfly = flag.Bool("butterfly", false, "butterfly routing network")
 		hotspot   = flag.Bool("hotspot", false, "place every compute cell on PE 0")
+		placeMode = flag.String("place", "", "re-place cells (stage | random | hotspot | mincost | profile) and report the before/after contention delta")
 		todd      = flag.Bool("todd", false, "Todd's for-iter scheme")
 		noBal     = flag.Bool("no-balance", false, "skip balancing")
 		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON to this file")
@@ -135,6 +143,7 @@ func main() {
 	}
 
 	var ran *graph.Graph
+	var baseline *analyze.Analysis
 	if *useMach {
 		if err := u.Compiled.SetInputs(inputs); err != nil {
 			fatal(err)
@@ -148,6 +157,26 @@ func main() {
 		}
 		if *hotspot {
 			cfg.Assign = machine.HotSpot
+		}
+		if *placeMode != "" {
+			// Before/after verdict mode: run the baseline assignment with a
+			// private metrics sink (the registered tracers see only the
+			// re-placed run), then swap in the requested placement.
+			baseMetrics := trace.NewMetrics()
+			base := cfg
+			base.Tracer = trace.Multi{baseMetrics}
+			base.Progress = nil
+			baseRes, err := machine.Run(u.Compiled.Graph, base)
+			if err != nil {
+				fatal(fmt.Errorf("placement baseline run: %w", err))
+			}
+			baseline, err = analyze.Analyze(baseRes.Graph, baseMetrics)
+			if err != nil {
+				fatal(err)
+			}
+			if err := replace(*placeMode, u.Compiled.Graph, &cfg, baseMetrics); err != nil {
+				fatal(err)
+			}
 		}
 		res, err := machine.Run(u.Compiled.Graph, cfg)
 		if err != nil {
@@ -178,6 +207,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(analysis.Render(*top))
+	if baseline != nil {
+		fmt.Print(analyze.RenderDelta(baseline, analysis))
+	}
 	if *summary {
 		fmt.Print(metrics.Summary(*top))
 	}
@@ -196,6 +228,37 @@ func main() {
 		}
 		fmt.Printf("wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
+}
+
+// replace resolves the -place flag into cfg's assignment. profile plans
+// from the baseline run's metrics — the run the verdict compares against is
+// exactly the profile the new mapping was derived from.
+func replace(mode string, g *graph.Graph, cfg *machine.Config, baseMetrics *trace.Metrics) error {
+	switch mode {
+	case "stage":
+		cfg.Assign = machine.ByStage
+		cfg.Placement = nil
+	case "random":
+		cfg.Assign = machine.Random
+		cfg.Placement = nil
+	case "hotspot":
+		cfg.Assign = machine.HotSpot
+		cfg.Placement = nil
+	case "mincost", "profile":
+		opts := place.Options{PEs: cfg.PEs}
+		if mode == "profile" {
+			opts.Metrics = baseMetrics
+		}
+		pl, err := place.Plan(g, opts)
+		if err != nil {
+			return err
+		}
+		cfg.Assign = machine.Placed
+		cfg.Placement = pl.PE
+	default:
+		return fmt.Errorf("unknown -place %q (want stage, random, hotspot, mincost or profile)", mode)
+	}
+	return nil
 }
 
 func readSource(args []string) (string, error) {

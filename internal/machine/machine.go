@@ -48,6 +48,9 @@ const (
 	// placement that saturates one PE's instruction bandwidth and network
 	// port, used to exercise the contention observability.
 	HotSpot
+	// Placed uses the explicit cell → PE map in Config.Placement (package
+	// place computes contention-aware ones).
+	Placed
 )
 
 func (a Assignment) String() string {
@@ -58,6 +61,8 @@ func (a Assignment) String() string {
 		return "by-stage"
 	case HotSpot:
 		return "hot-spot"
+	case Placed:
+		return "placed"
 	default:
 		return "round-robin"
 	}
@@ -111,6 +116,14 @@ type Config struct {
 	// Assign selects cell placement; Seed drives Random.
 	Assign Assignment
 	Seed   int64
+	// Placement is the explicit cell → PE map used when Assign == Placed:
+	// indexed by FIFO-expanded node ID, each compute cell's entry must lie
+	// in [0, PEs). Source and sink entries are ignored (those cells always
+	// reside on array memories; package place emits -1 for them).
+	// Placement never changes what a run computes — outputs are
+	// byte-identical under any mapping — only where cells retire and which
+	// packets cross the routing network.
+	Placement []int
 	// MaxCycles bounds the run (default 10M).
 	MaxCycles int
 	// Tracer, if non-nil, receives the structured observability event
@@ -451,7 +464,9 @@ func newMachine(g *graph.Graph, cfg Config, laneStreams map[string][]value.Value
 	for i := range m.fus {
 		m.fus[i].wheel = make([][]fuJob, m.fuSlots)
 	}
-	m.place()
+	if err := m.place(); err != nil {
+		return nil, err
+	}
 	if m.tr != nil {
 		m.fired = make([]bool, g.NumNodes())
 		m.tr.Start(m.meta())
@@ -537,7 +552,7 @@ func (m *machine) meta() trace.Meta {
 
 // place assigns cells to endpoints: sources and sinks to AMs, everything
 // else per the configured strategy.
-func (m *machine) place() {
+func (m *machine) place() error {
 	m.cells = make([]cell, m.g.NumNodes())
 	var computeIDs []int
 	amNext := 0
@@ -567,6 +582,19 @@ func (m *machine) place() {
 		peOf = func(i, id int) int { return min(i/per, m.cfg.PEs-1) }
 	case HotSpot:
 		peOf = func(i, id int) int { return 0 }
+	case Placed:
+		// The map indexes FIFO-expanded node IDs — the graph this machine
+		// was handed — so a map planned against a pre-expansion graph is a
+		// length mismatch, caught here.
+		if got, want := len(m.cfg.Placement), m.g.NumNodes(); got != want {
+			return fmt.Errorf("machine: placement maps %d cells, graph has %d (plan against the FIFO-expanded graph)", got, want)
+		}
+		for _, id := range computeIDs {
+			if pe := m.cfg.Placement[id]; pe < 0 || pe >= m.cfg.PEs {
+				return fmt.Errorf("machine: placement sends cell %d to PE %d, want [0,%d)", id, pe, m.cfg.PEs)
+			}
+		}
+		peOf = func(i, id int) int { return m.cfg.Placement[id] }
 	default:
 		peOf = func(i, id int) int { return i % m.cfg.PEs }
 	}
@@ -575,6 +603,7 @@ func (m *machine) place() {
 		m.cells[id].endpoint = pe
 		m.residents[pe] = append(m.residents[pe], id)
 	}
+	return nil
 }
 
 // step advances one machine cycle; it reports whether any activity

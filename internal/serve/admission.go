@@ -43,16 +43,31 @@ type bucket struct {
 	last   time.Time
 }
 
+// maxRetryAfter caps the Retry-After hint at one hour: a zero, negative, or
+// vanishingly small refill rate would otherwise push the division below to
+// +Inf, and converting that to int yields a garbage header value.
+const maxRetryAfter = 3600
+
 // take refills the bucket to now and spends one token. On failure it
-// returns the whole seconds to wait until a token is available.
+// returns the whole seconds to wait until a token is available, capped at
+// maxRetryAfter.
 func (b *bucket) take(now time.Time, rate float64, burst int) (ok bool, retryAfter int) {
-	b.tokens = math.Min(float64(burst), b.tokens+now.Sub(b.last).Seconds()*rate)
+	if rate > 0 {
+		b.tokens = math.Min(float64(burst), b.tokens+now.Sub(b.last).Seconds()*rate)
+	}
 	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--
 		return true, 0
 	}
-	return false, int(math.Ceil((1 - b.tokens) / rate))
+	if rate <= 0 {
+		return false, maxRetryAfter
+	}
+	wait := math.Ceil((1 - b.tokens) / rate)
+	if wait > maxRetryAfter {
+		wait = maxRetryAfter
+	}
+	return false, int(wait)
 }
 
 // estimateCost scores a compiled job for the fast/offload split. The cost
@@ -72,6 +87,17 @@ func estimateCost(u *core.Unit, spec Spec) (cost, cells int64) {
 	for _, s := range spec.Inputs {
 		if len(s) > maxLen {
 			maxLen = len(s)
+		}
+	}
+	// Per-lane rebinds count too: the drain time is governed by the longest
+	// stream any lane pushes through the pipeline, so a batch whose base
+	// inputs are short must not be billed as a short job when its lane
+	// overrides are long.
+	for _, li := range spec.LaneInputs {
+		for _, s := range li {
+			if len(s) > maxLen {
+				maxLen = len(s)
+			}
 		}
 	}
 	estCycles := 2*int64(maxLen) + 2*cells + 16

@@ -50,8 +50,8 @@ type Config struct {
 	// (core.Options.Workers); 0 runs them sequentially. Results are
 	// byte-identical either way.
 	SimWorkers int
-	// TenantRate is the per-tenant admission rate in jobs/second; 0
-	// disables throttling. TenantBurst is the token-bucket burst
+	// TenantRate is the per-tenant admission rate in jobs/second; zero or
+	// negative disables throttling. TenantBurst is the token-bucket burst
 	// (default 16).
 	TenantRate  float64
 	TenantBurst int
@@ -81,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OffloadThreshold == 0 {
 		c.OffloadThreshold = 1 << 20
+	}
+	if c.TenantRate < 0 {
+		c.TenantRate = 0 // negative rate means "disabled", same as zero
 	}
 	if c.TenantBurst <= 0 {
 		c.TenantBurst = 16

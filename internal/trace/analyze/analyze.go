@@ -77,6 +77,32 @@ type Analysis struct {
 	// Remarks is the verdict: structural bottleneck (critical cycle),
 	// resource bottleneck (saturated unit), or fully pipelined.
 	Remarks []string
+	// Severity grades the resource-contention component of the verdict
+	// (structural bottlenecks are a property of the graph, not of the
+	// machine, and do not contribute): SeverityResourceBound when a cell
+	// falls more than a cycle short of the predicted rate, SeveritySaturated
+	// when resources run at the saturation threshold but rate is held, and
+	// SeverityNone when fully pipelined.
+	Severity int
+}
+
+// Contention severity grades, worst first.
+const (
+	SeverityResourceBound = 2 // a cell misses the predicted rate (dominant stall named)
+	SeveritySaturated     = 1 // saturated units, rate still held
+	SeverityNone          = 0 // fully pipelined
+)
+
+// SeverityWord renders a severity grade for reports.
+func SeverityWord(s int) string {
+	switch s {
+	case SeverityResourceBound:
+		return "resource-bound"
+	case SeveritySaturated:
+		return "saturated"
+	default:
+		return "clean"
+	}
 }
 
 // SaturationThreshold is the occupancy above which Analyze calls a machine
@@ -171,8 +197,10 @@ func Analyze(g *graph.Graph, m *trace.Metrics) (*Analysis, error) {
 			r += "; saturated: " + strings.Join(saturated, ", ")
 		}
 		a.Remarks = append(a.Remarks, r)
+		a.Severity = SeverityResourceBound
 	} else if len(saturated) > 0 {
 		a.Remarks = append(a.Remarks, "saturated resources: "+strings.Join(saturated, ", "))
+		a.Severity = SeveritySaturated
 	}
 	if len(a.Remarks) == 0 {
 		a.Remarks = append(a.Remarks,
@@ -219,4 +247,56 @@ func (a *Analysis) Render(top int) string {
 		fmt.Fprintf(&b, "verdict: %s\n", r)
 	}
 	return b.String()
+}
+
+// RenderDelta formats a before/after comparison of two analyses of the same
+// program on the same machine shape — dftrace's re-placement report. Units
+// are matched by name; the closing line grades the contention change by
+// severity, breaking severity ties on the worst delivery occupancy (the
+// unambiguous overload measure: local packets bypass the network, so a
+// hot-spotted endpoint exceeds one delivery per cycle).
+func RenderDelta(before, after *Analysis) string {
+	var b strings.Builder
+	if len(before.Units) > 0 || len(after.Units) > 0 {
+		byName := map[string]UnitRate{}
+		for _, u := range before.Units {
+			byName[u.Name] = u
+		}
+		fmt.Fprintf(&b, "%-8s %17s %19s %17s\n", "unit", "busy", "deliver", "tr-p99")
+		for _, u := range after.Units {
+			prev := byName[u.Name]
+			fmt.Fprintf(&b, "%-8s %7.1f%% > %6.1f%% %8.1f%% > %7.1f%% %7.2f > %7.2f\n",
+				u.Name, 100*prev.Occupancy, 100*u.Occupancy,
+				100*prev.Delivery, 100*u.Delivery,
+				prev.TransitP99, u.TransitP99)
+		}
+	}
+	for _, r := range before.Remarks {
+		fmt.Fprintf(&b, "verdict before: %s\n", r)
+	}
+	for _, r := range after.Remarks {
+		fmt.Fprintf(&b, "verdict after:  %s\n", r)
+	}
+	db, da := before.worstDelivery(), after.worstDelivery()
+	word := "unchanged"
+	switch {
+	case after.Severity < before.Severity, after.Severity == before.Severity && da < db-1e-9:
+		word = "improved"
+	case after.Severity > before.Severity, after.Severity == before.Severity && da > db+1e-9:
+		word = "worsened"
+	}
+	fmt.Fprintf(&b, "contention: %s (severity %s > %s; worst delivery %.2f > %.2f per cycle)\n",
+		word, SeverityWord(before.Severity), SeverityWord(after.Severity), db, da)
+	return b.String()
+}
+
+// worstDelivery returns the highest per-unit delivery occupancy.
+func (a *Analysis) worstDelivery() float64 {
+	worst := 0.0
+	for _, u := range a.Units {
+		if u.Delivery > worst {
+			worst = u.Delivery
+		}
+	}
+	return worst
 }

@@ -100,6 +100,35 @@ for prog in testdata/fig3.val testdata/example1.val; do
     done
     echo "lane 0 byte-identical at B in {4,16}, W in {1,4}, both cores: $prog"
 done
+echo "== placement determinism smoke =="
+# Placement decides where packets travel, never what a run computes: the
+# machine's output lines (sink value streams) must be byte-identical across
+# every -place strategy. Cycle counts legitimately differ, so only the
+# "(N elements)" output lines are diffed, not the full stdout.
+for prog in testdata/fig3.val testdata/example1.val; do
+    /tmp/dfsim-ci -machine "$prog" | grep 'elements' >/tmp/dfsim-seq.out
+    for pm in stage random hotspot mincost profile; do
+        /tmp/dfsim-ci -machine -place "$pm" "$prog" | grep 'elements' >/tmp/dfsim-par.out
+        cmp /tmp/dfsim-seq.out /tmp/dfsim-par.out || {
+            echo "placement smoke: machine outputs diverge under -place $pm on $prog" >&2
+            exit 1
+        }
+    done
+    echo "outputs byte-identical across all placements: $prog"
+done
+
+echo "== placement contention gate =="
+# The tentpole claim in one command: re-placing the hotspot demo with the
+# min-cost mapping must grade as a contention improvement in dftrace's
+# before/after verdict.
+go build -o /tmp/dftrace-ci ./cmd/dftrace
+/tmp/dftrace-ci -machine -hotspot -place mincost testdata/example1.val >/tmp/dftrace-ci.out
+grep 'contention: improved' /tmp/dftrace-ci.out || {
+    echo "placement gate: min-cost re-placement did not improve the hotspot demo:" >&2
+    tail -5 /tmp/dftrace-ci.out >&2
+    exit 1
+}
+rm -f /tmp/dftrace-ci /tmp/dftrace-ci.out
 rm -f /tmp/dfsim-ci /tmp/dfsim-seq.out /tmp/dfsim-mseq.out /tmp/dfsim-par.out
 
 echo "== batched engine race pin =="
