@@ -45,6 +45,7 @@ import (
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
 	"staticpipe/internal/machine"
+	"staticpipe/internal/obs"
 	"staticpipe/internal/place"
 	"staticpipe/internal/progs"
 	"staticpipe/internal/recurrence"
@@ -98,6 +99,11 @@ var (
 	// under a millisecond and their rates are dominated by timer noise.
 	grandCycles int
 	grandWall   time.Duration
+	// benchFlight records one span tree per experiment pass (timings and
+	// headline rates as attrs). When the bench guard fails, the dump is
+	// written next to the run so the regression report points at data, not
+	// just a percentage.
+	benchFlight = obs.NewFlight(0, 0, 0)
 )
 
 // record captures one headline number under the current experiment.
@@ -219,12 +225,23 @@ func main() {
 				curExp = e.id
 				simCycles, simWall = 0, 0
 				fmt.Printf("=== %s — %s ===\n", e.id, e.title)
+				tree := obs.NewTree(obs.KindRun, e.id)
 				start := time.Now()
 				e.run(size)
 				record("seconds", time.Since(start).Seconds())
 				if simWall > 0 {
 					record("cycles_per_sec", float64(simCycles)/simWall.Seconds())
 				}
+				root := tree.Root()
+				root.Set("title", e.title)
+				root.Set("size", size)
+				root.Set("sim_cycles", simCycles)
+				root.Set("sim_wall_ns", simWall.Nanoseconds())
+				if simWall > 0 {
+					root.Set("cycles_per_sec", float64(simCycles)/simWall.Seconds())
+				}
+				root.End()
+				benchFlight.RecordTree(tree)
 				fmt.Printf("(%.2fs)\n\n", time.Since(start).Seconds())
 			}
 			if grandWall == 0 {
@@ -392,6 +409,29 @@ func runParallel(n int) {
 	record("instances", float64(n))
 }
 
+// writeFlightDump writes the per-experiment flight recorder to a temp file
+// and returns its path ("" if nothing was recorded or the write failed) —
+// the bench guard prints it so a regression report carries the span trees
+// of the slow run, not just the headline percentage.
+func writeFlightDump() string {
+	dump := benchFlight.Dump()
+	if len(dump.Spans) == 0 {
+		return ""
+	}
+	f, err := os.CreateTemp("", "dfbench-flight-*.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench guard: flight dump: %v\n", err)
+		return ""
+	}
+	werr := dump.WriteTo(f)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		fmt.Fprintf(os.Stderr, "bench guard: flight dump: %v %v\n", werr, cerr)
+		return ""
+	}
+	return f.Name()
+}
+
 // compareBaseline checks this run's cycles/sec records against a committed
 // baseline JSON, failing on a regression beyond the tolerance. Returns true
 // when the comparison passes (or is skipped because no baseline exists).
@@ -476,6 +516,9 @@ func compareBaseline(path string) bool {
 		for _, r := range regressed {
 			fmt.Fprintf(os.Stderr, "  %-28s %12.0f -> %-12.0f (%+.1f%%)\n",
 				r.name, r.before, r.after, 100*(r.after/r.before-1))
+		}
+		if dumpPath := writeFlightDump(); dumpPath != "" {
+			fmt.Fprintf(os.Stderr, "bench guard: per-experiment flight recorder dump at %s\n", dumpPath)
 		}
 		return false
 	}

@@ -22,7 +22,15 @@
 //	-max-cycles N     hard per-job simulation cycle cap
 //	-job-timeout D    per-job wall-clock bound (e.g. 30s; 0 = none)
 //	-smoke N          run the self-contained N-job load test and exit
+//	-saturate         with -smoke: starve the pool so queue-wait SLOs burn
 //	-version          print version and build info, then exit
+//
+// Observability is always on: every job records a span tree (GET
+// /jobs/{id}/span, ?format=chrome for chrome://tracing), a bounded flight
+// recorder keeps the most recent trees, admission decisions, and stall
+// snapshots (GET /debug/flight; SIGQUIT dumps it to stderr without
+// stopping the process), and an SLO engine evaluates burn rates over the
+// outcome stream (staticpipe_slo_* families on /metrics).
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
 // in-flight requests and queued jobs finish (bounded by -job-timeout and
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	"staticpipe/internal/buildinfo"
+	"staticpipe/internal/obs"
 	"staticpipe/internal/serve"
 	"staticpipe/internal/telemetry"
 )
@@ -56,6 +65,7 @@ func main() {
 		maxCycles  = flag.Int("max-cycles", 0, "per-job simulation cycle cap (0 = default)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock bound (0 = none)")
 		smokeN     = flag.Int("smoke", 0, "run the self-contained N-job load test and exit")
+		saturate   = flag.Bool("saturate", false, "with -smoke: starve the pool so queue-wait SLOs burn")
 		version    = flag.Bool("version", false, "print version and build info")
 	)
 	flag.Parse()
@@ -63,6 +73,11 @@ func main() {
 		fmt.Println(buildinfo.String())
 		return
 	}
+
+	// Observability is not optional: every dfserve process records spans,
+	// keeps a flight recorder, and evaluates SLO burn rates.
+	flight := obs.NewFlight(0, 0, 0)
+	slo := serve.DefaultSLOs()
 
 	cfg := serve.Config{
 		PoolWorkers:      *pool,
@@ -74,10 +89,12 @@ func main() {
 		KeepFinished:     *keep,
 		MaxCycles:        *maxCycles,
 		JobTimeout:       *jobTimeout,
+		Flight:           flight,
+		SLO:              slo,
 	}
 
 	if *smokeN > 0 {
-		if err := smoke(*smokeN, cfg); err != nil {
+		if err := smoke(*smokeN, cfg, *saturate); err != nil {
 			fmt.Fprintln(os.Stderr, "smoke:", err)
 			os.Exit(1)
 		}
@@ -88,8 +105,21 @@ func main() {
 	reg := telemetry.NewRegistry().KeepFinished(*keep)
 	cfg.Registry = reg
 	svc := serve.New(cfg)
-	mux := telemetry.NewMux(reg, svc.WriteMetrics)
+	mux := telemetry.NewMuxHealth(reg, svc.HealthStats, svc.WriteMetrics)
 	svc.Register(mux)
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving — the
+	// kill -QUIT incident workflow, without losing the process.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			fmt.Fprintln(os.Stderr, "dfserve: SIGQUIT — flight recorder dump:")
+			if err := flight.Dump().WriteTo(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "dfserve: flight dump:", err)
+			}
+		}
+	}()
 
 	srv, err := telemetry.ServeHandler(*httpAddr, mux)
 	if err != nil {

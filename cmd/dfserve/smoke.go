@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"staticpipe/internal/obs"
 	"staticpipe/internal/progs"
 	"staticpipe/internal/serve"
 	"staticpipe/internal/telemetry"
@@ -27,19 +29,37 @@ import (
 //   - overflow rejections came back as 429, never an error or a hang
 //   - after shutdown the process goroutine count returns to its
 //     pre-service baseline (no leaked workers, streams, or timers)
-func smoke(n int, cfg serve.Config) error {
+//   - the /metrics exposition passes the Prometheus text-format linter
+//   - the SLO verdict line is greppable: "slo: ok" on a clean run,
+//     "slo: burning ..." when saturate starves the pool so every queue
+//     wait blows its objective
+func smoke(n int, cfg serve.Config, saturate bool) error {
 	baseline := stableGoroutines()
 
 	reg := telemetry.NewRegistry()
 	cfg.Registry = reg
-	// Force contention so the test exercises both admission paths and the
-	// overflow branch even on a large machine: a small queue plus a cost
-	// threshold that sends every non-trivial program to the pool.
-	if cfg.QueueDepth == 256 || cfg.QueueDepth == 0 {
-		cfg.QueueDepth = n/4 + 1
+	if saturate {
+		// One pool worker, everything offloaded, and a queue-wait bound no
+		// real wait can meet: the queue_wait objective burns by design and
+		// the flight recorder captures the offending jobs.
+		cfg.PoolWorkers = 1
+		cfg.OffloadThreshold = -1
+		cfg.QueueDepth = n
+		cfg.SLOQueueWaitMax = time.Nanosecond
+	} else {
+		// Force contention so the test exercises both admission paths and
+		// the overflow branch even on a large machine: a small queue plus a
+		// cost threshold that sends every non-trivial program to the pool.
+		if cfg.QueueDepth == 256 || cfg.QueueDepth == 0 {
+			cfg.QueueDepth = n/4 + 1
+		}
+		// The production default (500ms) gates pathological waits; a loaded
+		// CI box can exceed it on an honest run, so the clean smoke only
+		// alerts on waits that are wrong at any speed.
+		cfg.SLOQueueWaitMax = 5 * time.Second
 	}
 	svc := serve.New(cfg)
-	mux := telemetry.NewMux(reg, svc.WriteMetrics)
+	mux := telemetry.NewMuxHealth(reg, svc.HealthStats, svc.WriteMetrics)
 	svc.Register(mux)
 	srv, err := telemetry.ServeHandler("127.0.0.1:0", mux)
 	if err != nil {
@@ -154,6 +174,48 @@ func smoke(n int, cfg serve.Config) error {
 	if int(adm) != accepted || int(rej) != rejected429 {
 		return fmt.Errorf("ledger admitted=%d rejected=%d vs HTTP accepted=%d rejected=%d",
 			adm, rej, accepted, rejected429)
+	}
+
+	// The /metrics exposition must parse as Prometheus text format — the
+	// registry, serve, and SLO families all ride one endpoint, and a
+	// malformed family would silently break every scrape.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scraping /metrics: %w", err)
+	}
+	probs := telemetry.LintExposition(mresp.Body)
+	mresp.Body.Close()
+	if len(probs) != 0 {
+		return fmt.Errorf("/metrics fails exposition lint:\n%s", strings.Join(probs, "\n"))
+	}
+	fmt.Println("smoke: /metrics exposition lint ok")
+
+	// The SLO verdict is the greppable health line: ci.sh greps for
+	// "slo: ok" on the clean run and "slo: burning" on the saturated one.
+	verdict := cfg.SLO.Verdict()
+	fmt.Println(verdict)
+	if saturate {
+		if !strings.Contains(verdict, "slo: burning") || !strings.Contains(verdict, serve.SLOQueueWait) {
+			return fmt.Errorf("saturated smoke did not burn the %s objective: %q", serve.SLOQueueWait, verdict)
+		}
+		// The flight recorder must hold the offending span trees.
+		fresp, err := http.Get(base + "/debug/flight")
+		if err != nil {
+			return fmt.Errorf("scraping /debug/flight: %w", err)
+		}
+		var dump obs.Dump
+		err = json.NewDecoder(fresp.Body).Decode(&dump)
+		fresp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding /debug/flight: %w", err)
+		}
+		if len(dump.Spans) == 0 {
+			return fmt.Errorf("saturated smoke left no span trees in /debug/flight")
+		}
+		fmt.Printf("smoke: /debug/flight holds %d span trees, %d admission records\n",
+			len(dump.Spans), len(dump.Admissions))
+	} else if verdict != "slo: ok" {
+		return fmt.Errorf("clean smoke verdict: %q, want \"slo: ok\"", verdict)
 	}
 
 	// Graceful teardown, then the goroutine-leak check. goleak is not

@@ -27,6 +27,8 @@
 //	-todd          use Todd's for-iter scheme
 //	-no-balance    skip balancing (see the unbalanced critical cycle)
 //	-trace FILE    write Chrome trace-event JSON to FILE
+//	-span FILE     write the run's span tree (job → placement.plan → run,
+//	               with per-shard children on sharded runs) as JSON
 //	-top n         rows in the per-cell rate table (default 12; 0 = all)
 //	-events n      keep and print the last n raw events (default 0)
 //	-summary       also print the raw metrics digest
@@ -35,6 +37,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +49,7 @@ import (
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
 	"staticpipe/internal/machine"
+	"staticpipe/internal/obs"
 	"staticpipe/internal/place"
 	"staticpipe/internal/progs"
 	"staticpipe/internal/telemetry"
@@ -66,6 +71,7 @@ func main() {
 		todd      = flag.Bool("todd", false, "Todd's for-iter scheme")
 		noBal     = flag.Bool("no-balance", false, "skip balancing")
 		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+		spanOut   = flag.String("span", "", "write the run's span tree as JSON to this file")
 		top       = flag.Int("top", 12, "rows in the per-cell rate table (0 = all)")
 		events    = flag.Int("events", 0, "keep and print the last n raw events")
 		summary   = flag.Bool("summary", false, "print the raw metrics digest too")
@@ -130,6 +136,16 @@ func main() {
 	}
 	opts.Tracer = tracers
 
+	var spanTree *obs.Tree
+	var runSpan *obs.Span
+	if *spanOut != "" {
+		label := "stdin"
+		if flag.NArg() > 0 {
+			label = flag.Arg(0)
+		}
+		spanTree = obs.NewTree(obs.KindJob, label)
+	}
+
 	u, err := core.Compile(src, opts)
 	if err != nil {
 		fatal(err)
@@ -174,9 +190,16 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			plSpan := spanTree.Root().Child(obs.KindPlacement, *placeMode)
 			if err := replace(*placeMode, u.Compiled.Graph, &cfg, baseMetrics); err != nil {
 				fatal(err)
 			}
+			plSpan.Set("pes", int64(cfg.PEs))
+			plSpan.End()
+		}
+		if spanTree != nil {
+			runSpan = spanTree.Root().Child(obs.KindRun, "machine")
+			cfg.Ctx = obs.WithSpan(context.Background(), runSpan)
 		}
 		res, err := machine.Run(u.Compiled.Graph, cfg)
 		if err != nil {
@@ -185,6 +208,10 @@ func main() {
 		fmt.Print(machine.Describe(res))
 		ran = res.Graph
 	} else {
+		if spanTree != nil {
+			runSpan = spanTree.Root().Child(obs.KindRun, "exec")
+			u.Bind(obs.WithSpan(context.Background(), runSpan), nil, 0, 0)
+		}
 		res, err := u.Run(inputs)
 		if err != nil {
 			fatal(err)
@@ -201,6 +228,14 @@ func main() {
 
 	if run != nil {
 		run.Finish(nil)
+	}
+	if spanTree != nil {
+		runSpan.End()
+		spanTree.Root().End()
+		if err := writeSpanFile(*spanOut, spanTree); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote span tree %s\n", *spanOut)
 	}
 	analysis, err := analyze.Analyze(ran, metrics)
 	if err != nil {
@@ -259,6 +294,21 @@ func replace(mode string, g *graph.Graph, cfg *machine.Config, baseMetrics *trac
 		return fmt.Errorf("unknown -place %q (want stage, random, hotspot, mincost or profile)", mode)
 	}
 	return nil
+}
+
+// writeSpanFile dumps the span tree snapshot as indented JSON.
+func writeSpanFile(path string, t *obs.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readSource(args []string) (string, error) {

@@ -15,6 +15,7 @@ import (
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
 	"staticpipe/internal/mcm"
+	"staticpipe/internal/obs"
 	"staticpipe/internal/passes"
 	"staticpipe/internal/pe"
 	"staticpipe/internal/pipestruct"
@@ -183,6 +184,16 @@ func (u *Unit) Bind(ctx context.Context, prog *trace.Progress, workers, maxCycle
 	}
 }
 
+// setGraphAttrs stamps the compiled graph's static shape onto the span
+// carried by the bound context, if any — the run span then reads
+// "cells=N arcs=M" before the simulator adds its outcome.
+func (u *Unit) setGraphAttrs() {
+	if sp := obs.SpanFrom(u.opts.Ctx); sp != nil {
+		sp.Set("cells", int64(u.Compiled.Graph.NumNodes()))
+		sp.Set("arcs", int64(u.Compiled.Graph.NumArcs()))
+	}
+}
+
 // RunResult holds a machine-level run's outcome.
 type RunResult struct {
 	// Outputs holds each output array (with its declared index range).
@@ -202,6 +213,7 @@ func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
 	if err := u.Compiled.SetInputs(inputs); err != nil {
 		return nil, err
 	}
+	u.setGraphAttrs()
 	res, err := exec.Run(u.Compiled.Graph, exec.Options{
 		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
 		Workers: u.opts.Workers, Ctx: u.opts.Ctx, Batch: u.opts.Batch,
@@ -265,6 +277,7 @@ func (u *Unit) RunBatch(inputs map[string][]value.Value, laneInputs []map[string
 	if err := u.Compiled.SetInputs(inputs); err != nil {
 		return nil, err
 	}
+	u.setGraphAttrs()
 	res, err := exec.Run(u.Compiled.Graph, exec.Options{
 		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
 		Workers: u.opts.Workers, Ctx: u.opts.Ctx, Batch: b, LaneInputs: laneInputs,

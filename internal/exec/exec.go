@@ -244,7 +244,18 @@ type firing struct {
 // Run simulates the graph until no cell is enabled and returns the result.
 // When MaxCycles is exhausted before quiescence the partial Result (with
 // Stalled diagnostics populated) is returned together with the error.
+//
+// If Options.Ctx carries an active obs.Span, Run annotates it with the
+// run's outcome and per-shard/per-lane children after the simulation loop
+// has ended — never from inside it — so an attached span cannot perturb
+// outputs, firing order, or cycle counts (see span.go).
 func Run(g *graph.Graph, opt Options) (*Result, error) {
+	res, err := runGraph(g, opt)
+	annotateSpan(opt.Ctx, res, err, opt.Workers, opt.Batch)
+	return res, err
+}
+
+func runGraph(g *graph.Graph, opt Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
 
 	"staticpipe/internal/graph"
 	"staticpipe/internal/partition"
@@ -262,6 +263,8 @@ func runSharded(g *graph.Graph, opt Options, maxCycles, nw int) (*Result, error)
 // total each cycle, so they exit together at the same cycle number.
 func (w *shardWorker) run() {
 	ps := w.ps
+	wallStart := time.Now()
+	defer func() { w.stat.WallNs = time.Since(wallStart).Nanoseconds() }()
 	for cycle := 0; ; cycle++ {
 		if cycle >= ps.maxCycles {
 			if w.id == 0 {

@@ -381,6 +381,15 @@ func (m *machine) freePacket(p *packet) { m.pktFree = append(m.pktFree, p) }
 // exhausted before quiescence the partial Result (with Stalled diagnostics
 // populated) is returned together with the error.
 func Run(g *graph.Graph, cfg Config) (*Result, error) {
+	res, err := run(g, cfg)
+	annotateSpan(cfg.Ctx, res, err, cfg.Workers, cfg.Batch)
+	return res, err
+}
+
+// run is Run without span annotation; the wrapper records the outcome
+// onto any obs.Span carried by cfg.Ctx strictly after the simulation has
+// ended, so an attached span cannot perturb packet order or cycle counts.
+func run(g *graph.Graph, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := g.Validate(); err != nil {
 		return nil, err

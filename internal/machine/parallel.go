@@ -37,6 +37,7 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"staticpipe/internal/exec"
 	"staticpipe/internal/graph"
@@ -220,6 +221,8 @@ func (w *machWorker) wait() {
 func (w *machWorker) run() {
 	pm := w.pm
 	m := w.m
+	wallStart := time.Now()
+	defer func() { w.stat.WallNs = time.Since(wallStart).Nanoseconds() }()
 	for {
 		if pm.stop {
 			return

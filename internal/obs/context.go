@@ -1,0 +1,27 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key spans propagate under.
+type ctxKey struct{}
+
+// WithSpan returns a context carrying sp; simulator cores and compilation
+// phases retrieve it with SpanFrom and attach their children. A nil span
+// returns ctx unchanged.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFrom returns the active span carried by ctx, or nil. Nil contexts are
+// fine: a detached run pays exactly this nil check, preserving the
+// zero-perturbation contract.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

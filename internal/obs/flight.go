@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Flight is the always-on flight recorder: bounded rings of recent span
+// trees, recent admission decisions, and the last stall snapshots, dumped
+// on demand (/debug/flight, SIGQUIT) so a degraded service can explain
+// itself after the fact without any tracing having been requested up
+// front.
+//
+// Recording happens only at phase boundaries — admission decisions and
+// terminal job transitions — never inside a simulation cycle loop, so an
+// attached recorder cannot perturb simulator outputs or rates. Rings
+// overwrite oldest-first; memory is bounded by the configured capacities
+// regardless of traffic.
+type Flight struct {
+	mu    sync.Mutex
+	trees ringBuf[*Tree]
+	adm   ringBuf[AdmissionRecord]
+	stall ringBuf[StallSnapshot]
+}
+
+// Default ring capacities: span trees dominate the dump's size, admission
+// records are tiny, stall snapshots are rare.
+const (
+	DefaultFlightTrees      = 64
+	DefaultFlightAdmissions = 256
+	DefaultFlightStalls     = 32
+)
+
+// NewFlight returns a recorder with the given ring capacities; zero or
+// negative values pick the defaults.
+func NewFlight(trees, admissions, stalls int) *Flight {
+	if trees <= 0 {
+		trees = DefaultFlightTrees
+	}
+	if admissions <= 0 {
+		admissions = DefaultFlightAdmissions
+	}
+	if stalls <= 0 {
+		stalls = DefaultFlightStalls
+	}
+	return &Flight{
+		trees: ringBuf[*Tree]{cap: trees},
+		adm:   ringBuf[AdmissionRecord]{cap: admissions},
+		stall: ringBuf[StallSnapshot]{cap: stalls},
+	}
+}
+
+// AdmissionRecord is one admission decision as the flight recorder keeps
+// it: enough to reconstruct why the service accepted, queued, or turned
+// away recent work.
+type AdmissionRecord struct {
+	Time   time.Time `json:"time"`
+	Tenant string    `json:"tenant"`
+	// JobID is zero for rejected submissions (no ID was assigned).
+	JobID int64 `json:"job_id,omitempty"`
+	// Decision is "fast", "offload", or "rejected:<reason>".
+	Decision string `json:"decision"`
+	// Cost is the admission-time cost estimate (0 when rejected before
+	// costing).
+	Cost int64 `json:"cost,omitempty"`
+}
+
+// StallSnapshot preserves a run's stall diagnostics at its terminal
+// transition — the last-N record of simulations that halted with work
+// pending.
+type StallSnapshot struct {
+	Time time.Time `json:"time"`
+	// Job labels the run ("tenant/j12", or a command's run label).
+	Job   string `json:"job"`
+	Cycle int64  `json:"cycle"`
+	// Diags is the simulator's Stalled diagnostics, truncated to the
+	// first few lines (a 10^5-cell graph can strand thousands of tokens).
+	Diags []string `json:"diags"`
+}
+
+// maxStallDiags bounds one snapshot's diagnostic lines.
+const maxStallDiags = 12
+
+// RecordTree retains a finished (or still-open) span tree. Nil-safe on
+// both receiver and argument.
+func (f *Flight) RecordTree(t *Tree) {
+	if f == nil || t == nil {
+		return
+	}
+	f.mu.Lock()
+	f.trees.push(t)
+	f.mu.Unlock()
+}
+
+// RecordAdmission retains one admission decision.
+func (f *Flight) RecordAdmission(r AdmissionRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.adm.push(r)
+	f.mu.Unlock()
+}
+
+// RecordStall retains one stall snapshot, truncating the diagnostics.
+func (f *Flight) RecordStall(s StallSnapshot) {
+	if f == nil {
+		return
+	}
+	if len(s.Diags) > maxStallDiags {
+		s.Diags = append(s.Diags[:maxStallDiags:maxStallDiags],
+			"... truncated")
+	}
+	f.mu.Lock()
+	f.stall.push(s)
+	f.mu.Unlock()
+}
+
+// Dump is the flight recorder's exported state, oldest record first in
+// each section.
+type Dump struct {
+	Taken      time.Time         `json:"taken"`
+	Spans      []*SpanJSON       `json:"spans"`
+	Admissions []AdmissionRecord `json:"admissions"`
+	Stalls     []StallSnapshot   `json:"stalls"`
+}
+
+// Dump snapshots the recorder. Span trees are re-snapshotted at dump time,
+// so trees of still-running jobs show their current shape.
+func (f *Flight) Dump() *Dump {
+	if f == nil {
+		return &Dump{Taken: time.Now()}
+	}
+	f.mu.Lock()
+	trees := f.trees.list()
+	adm := f.adm.list()
+	stalls := f.stall.list()
+	f.mu.Unlock()
+	d := &Dump{
+		Taken:      time.Now(),
+		Admissions: adm,
+		Stalls:     stalls,
+	}
+	// Snapshot outside the flight lock: Tree has its own lock, and a tree
+	// mid-recording must not block admission recording.
+	for _, t := range trees {
+		d.Spans = append(d.Spans, t.Snapshot())
+	}
+	return d
+}
+
+// WriteTo writes the dump as indented JSON.
+func (d *Dump) WriteTo(w interface{ Write([]byte) (int, error) }) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Handler serves the dump as JSON — mount at /debug/flight.
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		f.Dump().WriteTo(w)
+	})
+}
+
+// ringBuf is a fixed-capacity overwrite-oldest ring.
+type ringBuf[T any] struct {
+	cap  int
+	buf  []T
+	next int // overwrite position once the ring is full
+}
+
+func (r *ringBuf[T]) push(v T) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % r.cap
+}
+
+// list returns the retained values oldest-first.
+func (r *ringBuf[T]) list() []T {
+	if len(r.buf) < r.cap {
+		return append([]T(nil), r.buf...)
+	}
+	out := make([]T, 0, r.cap)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

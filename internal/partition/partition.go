@@ -208,6 +208,10 @@ type ShardStat struct {
 	// BarrierWait is the distribution of nanoseconds this shard's worker
 	// spent spinning at the per-instruction-time barriers.
 	BarrierWait trace.Histogram
+	// WallNs is the worker goroutine's total wall-clock lifetime — two
+	// clock reads per run, so it costs nothing per cycle. Span exports use
+	// it to place the shard on a timeline.
+	WallNs int64
 }
 
 // Summary renders one line per shard, for dfsim -metrics and dfbench.

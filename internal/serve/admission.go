@@ -9,6 +9,7 @@ import (
 
 	"staticpipe/internal/core"
 	"staticpipe/internal/exec"
+	"staticpipe/internal/obs"
 	"staticpipe/internal/value"
 )
 
@@ -235,6 +236,12 @@ func (s *Service) Submit(reqCtx context.Context, spec Spec) (*Job, *Rejection) {
 	}
 	s.mu.Unlock()
 
+	// The job's span tree opens before compilation so the admission span
+	// covers compile + cost estimation; the root is renamed to the job
+	// label once an ID is assigned.
+	tree := obs.NewTree(obs.KindJob, spec.Tenant)
+	adm := tree.Root().Child(obs.KindAdmission, "")
+
 	// Compile outside the lock: admission stays responsive while a large
 	// program is compiling.
 	u, rej := s.resolveSpec(&spec)
@@ -246,12 +253,17 @@ func (s *Service) Submit(reqCtx context.Context, spec Spec) (*Job, *Rejection) {
 	}
 
 	cost, cells := estimateCost(u, spec)
+	adm.Set("cost", cost)
+	adm.Set("cells", cells)
 	j := s.newJob(spec, u, cost, cells)
+	j.tree = tree
 	if j.Cost <= s.cfg.OffloadThreshold {
 		// Fast path: the program is small enough that queue latency would
 		// dominate — run synchronously on the caller's goroutine so the
 		// submit response carries the finished result.
 		j.Path = PathFast
+		adm.Set("path", j.Path)
+		adm.End()
 		if reqCtx != nil {
 			stop := context.AfterFunc(reqCtx, j.cancelFn)
 			defer stop()
@@ -263,6 +275,9 @@ func (s *Service) Submit(reqCtx context.Context, spec Spec) (*Job, *Rejection) {
 
 	j.Path = PathOffload
 	j.workers = s.cfg.SimWorkers
+	adm.Set("path", j.Path)
+	adm.End()
+	j.queueSpan = tree.Root().Child(obs.KindQueueWait, "")
 	s.mu.Lock()
 	if s.closed {
 		rej := &Rejection{Reason: ReasonShutdown, Status: http.StatusServiceUnavailable,

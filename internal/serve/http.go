@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"staticpipe/internal/obs"
 )
 
 // Register mounts the job API on mux:
@@ -15,6 +17,8 @@ import (
 //	GET    /jobs/{id}         one job; includes the result once terminal
 //	POST   /jobs/{id}/cancel  request cancellation (DELETE /jobs/{id} is an alias)
 //	GET    /jobs/{id}/events  SSE stream: progress events, then one final done event
+//	GET    /jobs/{id}/span    the job's span tree (?format=chrome for trace-event JSON)
+//	GET    /debug/flight      flight-recorder dump (only when Config.Flight is set)
 //
 // The mux is typically telemetry.NewMux(reg, svc.WriteMetrics), putting
 // /jobs, /metrics, /runs, and /debug/pprof on one listener.
@@ -25,6 +29,10 @@ func (s *Service) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/span", s.handleSpan)
+	if s.cfg.Flight != nil {
+		mux.Handle("GET /debug/flight", s.cfg.Flight.Handler())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -87,6 +95,29 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 	if j := s.jobFromPath(w, r); j != nil {
 		writeJSON(w, http.StatusOK, j.View(true))
 	}
+}
+
+// handleSpan serves the job's span tree: where its wall-clock went, from
+// admission through per-shard execution. Open spans (a still-running job)
+// report their duration as of the request.
+func (s *Service) handleSpan(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	snap := j.SpanTree().Snapshot()
+	if snap == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("job %d has no span tree", j.ID)})
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteChrome(w, snap); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"staticpipe/internal/core"
+	"staticpipe/internal/obs"
 	"staticpipe/internal/telemetry"
 	"staticpipe/internal/trace"
 	"staticpipe/internal/value"
@@ -177,7 +178,14 @@ type Job struct {
 	cancelFn context.CancelFunc
 	done     chan struct{} // closed at the terminal transition
 
+	// tree is the job's span tree, rooted at submission; queueSpan is the
+	// open queue.wait child of an offloaded job. Both are set before the
+	// job becomes visible to other goroutines and never reassigned.
+	tree      *obs.Tree
+	queueSpan *obs.Span
+
 	mu        sync.Mutex
+	runSpan   *obs.Span       // open while the simulator runs; nil before
 	run       *telemetry.Run  // registered at execution time; nil before
 	prog      *trace.Progress // live while running; readable any time
 	state     State
@@ -190,6 +198,21 @@ type Job struct {
 
 // label names the job's telemetry run.
 func (j *Job) label() string { return fmt.Sprintf("%s/j%d", j.Tenant, j.ID) }
+
+// SpanTree returns the job's span tree (nil only for jobs constructed
+// outside Submit, e.g. directly in tests).
+func (j *Job) SpanTree() *obs.Tree { return j.tree }
+
+// endQueueWait closes the queue.wait span, if the job has one. Idempotent
+// (End keeps the first close).
+func (j *Job) endQueueWait() { j.queueSpan.End() }
+
+// setRunSpan publishes the run child span for completion to annotate.
+func (j *Job) setRunSpan(sp *obs.Span) {
+	j.mu.Lock()
+	j.runSpan = sp
+	j.mu.Unlock()
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }

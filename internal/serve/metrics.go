@@ -78,6 +78,11 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "staticpipe_serve_cost_ratio_bucket{le=\"+Inf\"} %d\n", s.costRatio.count)
 	fmt.Fprintf(w, "staticpipe_serve_cost_ratio_sum %g\n", s.costRatio.sum)
 	fmt.Fprintf(w, "staticpipe_serve_cost_ratio_count %d\n", s.costRatio.count)
+
+	// SLO families ride the same exposition (nil-safe when no engine is
+	// attached). The engine has its own lock; holding s.mu here is fine —
+	// it never calls back into the service.
+	s.cfg.SLO.WriteMetrics(w)
 }
 
 // Counters returns the per-tenant admission ledger (submitted, admitted,

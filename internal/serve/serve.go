@@ -16,6 +16,7 @@ import (
 	"staticpipe/internal/core"
 	"staticpipe/internal/exec"
 	"staticpipe/internal/machine"
+	"staticpipe/internal/obs"
 	"staticpipe/internal/telemetry"
 	"staticpipe/internal/value"
 )
@@ -70,6 +71,23 @@ type Config struct {
 	Registry *telemetry.Registry
 	// StreamInterval paces SSE progress events (default 100ms).
 	StreamInterval time.Duration
+	// Flight, when non-nil, is the always-on flight recorder: it retains
+	// every job's span tree, every admission decision, and stall
+	// snapshots, all in bounded rings (see obs.NewFlight). Recording
+	// happens only at admission and terminal transitions.
+	Flight *obs.Flight
+	// SLO, when non-nil, receives one good/bad observation per objective
+	// per terminal job (see DefaultSLOs for the objective set).
+	SLO *obs.SLOEngine
+	// SLOQueueWaitMax classifies queue-wait observations: a job that
+	// waited longer is a bad event for the queue_wait objective (default
+	// 500ms).
+	SLOQueueWaitMax time.Duration
+	// SLOCostRatioMax classifies cost-model observations: a job whose
+	// actual/estimated work ratio exceeds it is a bad event for the
+	// cost_model objective (default 1.5 — underestimates are what break
+	// admission control).
+	SLOCostRatioMax float64
 }
 
 func (c Config) withDefaults() Config {
@@ -97,7 +115,37 @@ func (c Config) withDefaults() Config {
 	if c.StreamInterval <= 0 {
 		c.StreamInterval = 100 * time.Millisecond
 	}
+	if c.SLOQueueWaitMax <= 0 {
+		c.SLOQueueWaitMax = 500 * time.Millisecond
+	}
+	if c.SLOCostRatioMax <= 0 {
+		c.SLOCostRatioMax = 1.5
+	}
 	return c
+}
+
+// SLO objective names the service observes.
+const (
+	SLOQueueWait = "queue_wait" // admitted job began within SLOQueueWaitMax
+	SLOJobErrors = "job_errors" // terminal job did not fail (canceled counts good)
+	SLOCostModel = "cost_model" // actual/estimated work ratio within SLOCostRatioMax
+	SLOStallFree = "stall_free" // finished run drained cleanly
+)
+
+// DefaultSLOs builds the service's standard objective set. dfserve and
+// the tests share it so the greppable verdict line means the same thing
+// everywhere.
+func DefaultSLOs() *obs.SLOEngine {
+	return obs.NewSLOEngine(
+		obs.SLODef{Name: SLOQueueWait, Target: 0.99,
+			Help: "99% of admitted jobs start within the configured queue-wait bound."},
+		obs.SLODef{Name: SLOJobErrors, Target: 0.99,
+			Help: "99% of terminal jobs do not fail (cancellation is not a failure)."},
+		obs.SLODef{Name: SLOCostModel, Target: 0.90,
+			Help: "90% of runs land within the admission cost model's tolerated ratio."},
+		obs.SLODef{Name: SLOStallFree, Target: 0.95,
+			Help: "95% of finished runs drain cleanly with no stranded tokens."},
+	)
 }
 
 // Service is one admission controller + worker pool + result store.
@@ -212,11 +260,18 @@ func (s *Service) admitLocked(j *Job) {
 	j.ID = s.nextID
 	s.jobs[j.ID] = j
 	s.admitted[[2]string{j.Tenant, j.Path}]++
+	j.tree.Root().SetName(j.label())
+	s.cfg.Flight.RecordAdmission(obs.AdmissionRecord{
+		Time: time.Now(), Tenant: j.Tenant, JobID: j.ID, Decision: j.Path, Cost: j.Cost,
+	})
 }
 
 // rejectLocked counts one rejection. Callers hold s.mu.
 func (s *Service) rejectLocked(tenant, reason string) {
 	s.rejected[[2]string{tenant, reason}]++
+	s.cfg.Flight.RecordAdmission(obs.AdmissionRecord{
+		Time: time.Now(), Tenant: tenant, Decision: "rejected:" + reason,
+	})
 }
 
 // worker is one pool goroutine: it drains the offload queue until Close
@@ -259,6 +314,16 @@ func (s *Service) execute(j *Job) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
+	}
+
+	// The run span rides the same context that carries cancellation into
+	// the simulator hot loops; the cores annotate it (cycles, shard and
+	// lane children) strictly after their cycle loop ends.
+	j.endQueueWait()
+	if root := j.tree.Root(); root != nil {
+		sp := root.Child(obs.KindRun, j.Model)
+		j.setRunSpan(sp)
+		ctx = obs.WithSpan(ctx, sp)
 	}
 
 	res, err := s.simulate(j, ctx)
@@ -377,7 +442,8 @@ func laneStreamInputs(in []map[string]Stream) []map[string][]value.Value {
 }
 
 // complete records a job's terminal transition exactly once: lifecycle
-// state, counters, telemetry run closure, and result-store eviction.
+// state, counters, telemetry run closure, result-store eviction, span
+// closure, flight recording, and SLO observations.
 func (s *Service) complete(j *Job, state State, res *JobResult, errMsg string, err error) {
 	if !j.finish(state, res, errMsg) {
 		return
@@ -385,19 +451,19 @@ func (s *Service) complete(j *Job, state State, res *JobResult, errMsg string, e
 	j.cancelFn() // release the job's context resources
 	j.mu.Lock()
 	run := j.run
+	runSpan := j.runSpan
 	began := !j.started.IsZero()
+	wait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
 	if run != nil {
 		run.Finish(err)
 	}
-	s.mu.Lock()
-	if began {
-		s.running--
-	}
+	// Score the admission estimate against the work the job actually did:
+	// cells × simulated cycles, summed over lanes when batched (the
+	// denominator already carries the amortized batch discount).
+	ratio := -1.0
+	var actual int64
 	if began && res != nil && j.Cost > 0 {
-		// Score the admission estimate against the work the job actually
-		// did: cells × simulated cycles, summed over lanes when batched
-		// (the denominator already carries the amortized batch discount).
 		total := int64(res.Cycles)
 		if len(res.Lanes) > 0 {
 			total = 0
@@ -405,11 +471,52 @@ func (s *Service) complete(j *Job, state State, res *JobResult, errMsg string, e
 				total += int64(lv.Cycles)
 			}
 		}
-		s.costRatio.observe(float64(j.cells*total) / float64(j.Cost))
+		actual = j.cells * total
+		ratio = float64(actual) / float64(j.Cost)
+	}
+	s.mu.Lock()
+	if began {
+		s.running--
+	}
+	if ratio >= 0 {
+		s.costRatio.observe(ratio)
 	}
 	s.completed[[2]string{j.Tenant, string(state)}]++
 	s.retireLocked(j)
 	s.mu.Unlock()
+
+	// Observability, strictly after the terminal transition is published.
+	if ratio >= 0 {
+		runSpan.Set("cost_est", j.Cost)
+		runSpan.Set("cost_actual", actual)
+		runSpan.Set("cost_ratio", ratio)
+	}
+	runSpan.End()
+	if root := j.tree.Root(); root != nil {
+		root.Set("state", string(state))
+		if errMsg != "" {
+			root.Set("error", errMsg)
+		}
+		root.End()
+		s.cfg.Flight.RecordTree(j.tree)
+	}
+	if res != nil && !res.Clean && !res.Canceled && len(res.Stalled) > 0 {
+		s.cfg.Flight.RecordStall(obs.StallSnapshot{
+			Time: time.Now(), Job: j.label(), Cycle: int64(res.Cycles), Diags: res.Stalled,
+		})
+	}
+	if slo := s.cfg.SLO; slo != nil {
+		if began {
+			slo.Observe(SLOQueueWait, wait <= s.cfg.SLOQueueWaitMax)
+		}
+		slo.Observe(SLOJobErrors, state != StateFailed)
+		if ratio >= 0 {
+			slo.Observe(SLOCostModel, ratio <= s.cfg.SLOCostRatioMax)
+		}
+		if state == StateDone && res != nil {
+			slo.Observe(SLOStallFree, res.Clean)
+		}
+	}
 }
 
 // retireLocked appends j to its tenant's finished FIFO and evicts beyond
@@ -426,6 +533,25 @@ func (s *Service) retireLocked(j *Job) {
 		fin = fin[1:]
 	}
 	s.finished[j.Tenant] = fin
+}
+
+// HealthStats snapshots the service's live registry counts for the
+// /healthz surface: tracked jobs by lifecycle phase plus pool occupancy.
+func (s *Service) HealthStats() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats := map[string]int64{
+		"jobs_tracked": int64(len(s.jobs)),
+		"jobs_running": int64(s.running),
+		"jobs_queued":  int64(len(s.queue)),
+		"pool_busy":    int64(s.poolBusy),
+	}
+	var finished int64
+	for _, ids := range s.finished {
+		finished += int64(len(ids))
+	}
+	stats["jobs_finished"] = finished
+	return stats
 }
 
 // Get returns a tracked job (nil if unknown or evicted).
@@ -477,6 +603,15 @@ func (s *Service) Cancel(id int64) (*Job, bool) {
 		s.completed[[2]string{j.Tenant, string(StateCanceled)}]++
 		s.retireLocked(j)
 		s.mu.Unlock()
+		j.endQueueWait()
+		if root := j.tree.Root(); root != nil {
+			root.Set("state", string(StateCanceled))
+			root.End()
+			s.cfg.Flight.RecordTree(j.tree)
+		}
+		// Canceled-while-queued is not a failure; the job never ran, so
+		// the other objectives have nothing to say about it.
+		s.cfg.SLO.Observe(SLOJobErrors, true)
 	}
 	return j, true
 }

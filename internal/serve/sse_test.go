@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"staticpipe/internal/obs"
+	"staticpipe/internal/progs"
+	"staticpipe/internal/telemetry"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes the stream to EOF and returns every event in arrival
+// order. A canceled job's done event carries a multi-megabyte partial
+// result in one data: line, so the scanner buffer must grow well past
+// bufio's default.
+func readSSE(t *testing.T, body io.Reader) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<28)
+	cur := sseEvent{}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && cur.name != "":
+			events = append(events, cur)
+			cur = sseEvent{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Errorf("reading stream: %v", err)
+	}
+	return events
+}
+
+// TestSSEOrderingAndTerminalOnce pins the stream contract end to end: every
+// progress event precedes the terminal event, exactly one done event is
+// sent, it is the final event, and the server closes the stream after it.
+func TestSSEOrderingAndTerminalOnce(t *testing.T) {
+	_, ts := newHTTPService(t, Config{OffloadThreshold: -1, StreamInterval: 2 * time.Millisecond})
+	resp, view := postJob(t, ts, spec(progs.Fig2(1<<14)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/jobs/" + strconv.FormatInt(view.ID, 10) + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	// Reading to EOF proves the server tears the stream down after done.
+	events := readSSE(t, r.Body)
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	var dones int
+	for i, e := range events {
+		switch e.name {
+		case "progress":
+			if dones > 0 {
+				t.Fatalf("progress event at %d after done", i)
+			}
+		case "done":
+			dones++
+		default:
+			t.Fatalf("unknown event %q", e.name)
+		}
+	}
+	if dones != 1 {
+		t.Fatalf("done events = %d, want exactly 1", dones)
+	}
+	last := events[len(events)-1]
+	if last.name != "done" {
+		t.Fatalf("final event = %q, want done", last.name)
+	}
+	var final JobView
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil {
+		t.Fatalf("done payload: %v", err)
+	}
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("done view: %+v", final)
+	}
+}
+
+// TestSSECancelMidJobTearsDown cancels a running job under an open stream:
+// the client still gets exactly one done event (state canceled) and EOF,
+// not a hung connection.
+func TestSSECancelMidJobTearsDown(t *testing.T) {
+	svc, ts := newHTTPService(t, Config{OffloadThreshold: -1, StreamInterval: 2 * time.Millisecond})
+	resp, view := postJob(t, ts, spec(progs.Fig2(1<<18)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/jobs/" + strconv.FormatInt(view.ID, 10) + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+
+	// Wait until it is actually running, then cancel through the API.
+	j := svc.Get(view.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for j.State() == StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+strconv.FormatInt(view.ID, 10), nil)
+	cr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr.Body.Close()
+
+	done := make(chan []sseEvent, 1)
+	go func() { done <- readSSE(t, r.Body) }()
+	var events []sseEvent
+	select {
+	case events = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not tear down after cancellation")
+	}
+	var dones int
+	var final JobView
+	for _, e := range events {
+		if e.name == "done" {
+			dones++
+			if err := json.Unmarshal([]byte(e.data), &final); err != nil {
+				t.Fatalf("done payload: %v", err)
+			}
+		}
+	}
+	if dones != 1 {
+		t.Fatalf("done events = %d, want exactly 1", dones)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("final state = %s, want canceled", final.State)
+	}
+}
+
+// TestHTTPSpanEndpoint reads GET /jobs/{id}/span in both formats.
+func TestHTTPSpanEndpoint(t *testing.T) {
+	_, ts := newHTTPService(t, Config{OffloadThreshold: 1 << 40})
+	resp, view := postJob(t, ts, spec(progs.Fig2(64)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/jobs/" + strconv.FormatInt(view.ID, 10) + "/span")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := httpGetBody(r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("span status %d: %s", r.StatusCode, b)
+	}
+	var snap obs.SpanJSON
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("span payload: %v\n%s", err, b)
+	}
+	if snap.Kind != obs.KindJob || snap.Find(obs.KindRun) == nil {
+		t.Fatalf("span tree = %+v", snap)
+	}
+	// Chrome export parses as a trace-event array.
+	r, err = http.Get(ts.URL + "/jobs/" + strconv.FormatInt(view.ID, 10) + "/span?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = httpGetBody(r)
+	var arr []map[string]any
+	if err := json.Unmarshal(b, &arr); err != nil || len(arr) == 0 {
+		t.Fatalf("chrome payload: %v\n%s", err, b)
+	}
+}
+
+// TestMetricsExpositionLints scrapes the full combined /metrics endpoint —
+// registry, serve, and SLO families — with a laden service and checks it
+// passes the Prometheus text-format linter, mirroring the ci.sh gate.
+func TestMetricsExpositionLints(t *testing.T) {
+	_, ts := newHTTPService(t, Config{
+		OffloadThreshold: 1 << 40,
+		Flight:           obs.NewFlight(0, 0, 0),
+		SLO:              DefaultSLOs(),
+	})
+	for i := 0; i < 3; i++ {
+		postJob(t, ts, spec(progs.Fig2(64)))
+	}
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if probs := telemetry.LintExposition(r.Body); len(probs) != 0 {
+		t.Fatalf("/metrics fails exposition lint:\n%s", strings.Join(probs, "\n"))
+	}
+}
+
+// TestHTTPFlightEndpoint reads /debug/flight on the combined mux.
+func TestHTTPFlightEndpoint(t *testing.T) {
+	_, ts := newHTTPService(t, Config{OffloadThreshold: 1 << 40, Flight: obs.NewFlight(0, 0, 0)})
+	postJob(t, ts, spec(progs.Fig2(64)))
+	r, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := httpGetBody(r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("flight status %d", r.StatusCode)
+	}
+	var d obs.Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("flight payload: %v\n%s", err, b)
+	}
+	if len(d.Spans) != 1 || len(d.Admissions) != 1 {
+		t.Fatalf("flight dump = %d spans, %d admissions", len(d.Spans), len(d.Admissions))
+	}
+}

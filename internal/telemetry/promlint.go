@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-exposition (format 0.0.4)
+// payload and returns every problem found, one message per line at fault.
+// It is the CI gate behind `scripts/ci.sh`'s /metrics scrape: a metric
+// family that renders without HELP/TYPE, emits duplicate series, or writes
+// an unparsable sample would silently break scrapes in production, so the
+// smoke run fails instead.
+//
+// Checks applied:
+//   - every sample's metric name has a preceding # TYPE (and HELP) line
+//   - TYPE values are legal (counter, gauge, histogram, summary, untyped)
+//   - no series (name + label set) appears twice
+//   - sample lines parse: name{labels} value, with quoted label values
+//   - label sets are well-formed (balanced quotes, key="value" pairs)
+//   - sample values parse as floats (including +Inf/-Inf/NaN)
+func LintExposition(r io.Reader) []string {
+	var problems []string
+	typed := map[string]string{} // family name → declared type
+	helped := map[string]bool{}
+	seen := map[string]int{} // series key → first line number
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if name == "" {
+				problems = append(problems, fmt.Sprintf("line %d: HELP without a metric name", lineNo))
+				continue
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				problems = append(problems, fmt.Sprintf("line %d: malformed TYPE line %q", lineNo, line))
+				continue
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				problems = append(problems, fmt.Sprintf("line %d: illegal type %q for %s", lineNo, typ, name))
+			}
+			if _, dup := typed[name]; dup {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+			}
+			typed[name] = typ
+		case strings.HasPrefix(line, "#"):
+			continue // other comments are legal and ignored
+		default:
+			name, series, err := parseSample(line)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("line %d: %v", lineNo, err))
+				continue
+			}
+			family := familyOf(name, typed)
+			if _, ok := typed[family]; !ok {
+				problems = append(problems, fmt.Sprintf("line %d: sample %s has no preceding TYPE", lineNo, name))
+			} else if !helped[family] {
+				problems = append(problems, fmt.Sprintf("line %d: family %s has TYPE but no HELP", lineNo, family))
+			}
+			if first, dup := seen[series]; dup {
+				problems = append(problems,
+					fmt.Sprintf("line %d: duplicate series %s (first at line %d)", lineNo, series, first))
+			} else {
+				seen[series] = lineNo
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("reading exposition: %v", err))
+	}
+	return problems
+}
+
+// familyOf maps a sample name to its declaring family: histogram and
+// summary samples carry _bucket/_sum/_count suffixes on the family name.
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t := typed[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample validates one sample line and returns the metric name and a
+// canonical series key (name plus the literal label block).
+func parseSample(line string) (name, series string, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("illegal metric name %q", name)
+	}
+	series = name
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", "", fmt.Errorf("sample %s: %v", name, err)
+		}
+		series = name + rest[:end]
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// Value, optionally followed by a timestamp.
+	val, _, _ := strings.Cut(rest, " ")
+	if _, err := strconv.ParseFloat(val, 64); err != nil {
+		return "", "", fmt.Errorf("sample %s: unparsable value %q", name, val)
+	}
+	return name, series, nil
+}
+
+// scanLabels walks a {key="value",...} block and returns the index just
+// past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// key
+		j := i
+		for j < len(s) && s[j] != '=' && s[j] != '}' && s[j] != ',' {
+			j++
+		}
+		if j >= len(s) || s[j] != '=' || j == i {
+			return 0, fmt.Errorf("malformed label pair near %q", s[i:min(i+20, len(s))])
+		}
+		j++ // past '='
+		if j >= len(s) || s[j] != '"' {
+			return 0, fmt.Errorf("unquoted label value near %q", s[i:min(i+20, len(s))])
+		}
+		j++ // past opening quote
+		for j < len(s) && s[j] != '"' {
+			if s[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		j++ // past closing quote
+		if j < len(s) && s[j] == ',' {
+			j++
+		}
+		i = j
+	}
+}
+
+func validMetricName(s string) bool {
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"staticpipe/internal/trace"
+)
+
+func lint(t *testing.T, text string) []string {
+	t.Helper()
+	return LintExposition(strings.NewReader(text))
+}
+
+func TestLintAcceptsWellFormedExposition(t *testing.T) {
+	text := `# HELP x_total Things.
+# TYPE x_total counter
+x_total{a="1"} 3
+x_total{a="2"} 4
+# HELP h A histogram.
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 3.5
+h_count 2
+# HELP g A gauge.
+# TYPE g gauge
+g 0
+`
+	if probs := lint(t, text); len(probs) != 0 {
+		t.Fatalf("clean exposition flagged: %v", probs)
+	}
+}
+
+func TestLintFlagsMissingTypeAndHelp(t *testing.T) {
+	probs := lint(t, "orphan_metric 1\n")
+	if len(probs) != 1 || !strings.Contains(probs[0], "no preceding TYPE") {
+		t.Fatalf("problems = %v", probs)
+	}
+	probs = lint(t, "# TYPE quiet gauge\nquiet 1\n")
+	if len(probs) != 1 || !strings.Contains(probs[0], "no HELP") {
+		t.Fatalf("problems = %v", probs)
+	}
+}
+
+func TestLintFlagsDuplicateSeries(t *testing.T) {
+	text := `# HELP d D.
+# TYPE d gauge
+d{t="a"} 1
+d{t="a"} 2
+`
+	probs := lint(t, text)
+	if len(probs) != 1 || !strings.Contains(probs[0], "duplicate series") {
+		t.Fatalf("problems = %v", probs)
+	}
+	// Same name, different labels, is fine.
+	if probs := lint(t, "# HELP d D.\n# TYPE d gauge\nd{t=\"a\"} 1\nd{t=\"b\"} 2\n"); len(probs) != 0 {
+		t.Fatalf("distinct series flagged: %v", probs)
+	}
+}
+
+func TestLintFlagsMalformedSamples(t *testing.T) {
+	for _, bad := range []string{
+		"# HELP m M.\n# TYPE m gauge\nm{unterminated=\"x} 1\n",
+		"# HELP m M.\n# TYPE m gauge\nm notanumber\n",
+		"# HELP m M.\n# TYPE m gauge\nm{k=unquoted} 1\n",
+		"# TYPE m spiral\n",
+	} {
+		if probs := lint(t, bad); len(probs) == 0 {
+			t.Errorf("lint accepted %q", bad)
+		}
+	}
+}
+
+// TestLintRealExposition runs the linter over the process's own /metrics
+// output — registry families plus a live run — so the formats can never
+// drift apart from the gate that checks them.
+func TestLintRealExposition(t *testing.T) {
+	reg := NewRegistry()
+	run := reg.NewRun("lint-me", "exec")
+	run.Tracer().Emit(trace.Event{})
+	run.Finish(nil)
+	reg.NewRun("live", "machine")
+	var b strings.Builder
+	WriteMetrics(&b, reg)
+	if probs := LintExposition(strings.NewReader(b.String())); len(probs) != 0 {
+		t.Fatalf("own exposition fails lint:\n%s", strings.Join(probs, "\n"))
+	}
+}
+
+// TestBuildInfoGauge pins the build-info family: exactly one series, value
+// 1, carrying at least the go_version label.
+func TestBuildInfoGauge(t *testing.T) {
+	var b strings.Builder
+	WriteMetrics(&b, NewRegistry())
+	var series []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "staticpipe_build_info{") {
+			series = append(series, line)
+		}
+	}
+	if len(series) != 1 {
+		t.Fatalf("build_info series = %v, want exactly 1", series)
+	}
+	if !strings.HasSuffix(series[0], "} 1") {
+		t.Fatalf("build_info value: %q, want 1", series[0])
+	}
+	if !strings.Contains(series[0], `go_version="go`) {
+		t.Fatalf("build_info lacks go_version label: %q", series[0])
+	}
+}

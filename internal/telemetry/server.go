@@ -31,6 +31,13 @@ type Server struct {
 // Prometheus families (e.g. the staticpipe_serve_* admission counters) on
 // the same endpoint.
 func NewMux(reg *Registry, extra ...func(io.Writer)) *http.ServeMux {
+	return NewMuxHealth(reg, nil, extra...)
+}
+
+// NewMuxHealth is NewMux with a live health-stats source: when health is
+// non-nil, every /healthz response includes its counts (e.g. dfserve's
+// active/queued/finished job registry) alongside the build info.
+func NewMuxHealth(reg *Registry, health func() map[string]int64, extra ...func(io.Writer)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -52,12 +59,20 @@ func NewMux(reg *Registry, extra ...func(io.Writer)) *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(struct {
+		body := struct {
 			Status string            `json:"status"`
 			Build  map[string]string `json:"build"`
-		}{Status: "ok", Build: buildinfo.Fields()})
+			Runs   map[string]int64  `json:"runs,omitempty"`
+		}{Status: "ok", Build: buildinfo.Fields()}
+		if health != nil {
+			body.Runs = health()
+		} else if reg != nil {
+			active, finished := reg.Counts()
+			body.Runs = map[string]int64{"active": active, "finished": finished}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

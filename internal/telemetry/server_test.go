@@ -101,6 +101,41 @@ func TestHealthzHandler(t *testing.T) {
 	}
 }
 
+// TestHealthzRunCounts pins the liveness payload's run-registry counts,
+// both from the registry fallback and from an injected health source.
+func TestHealthzRunCounts(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewRun("live", "exec")
+	reg.NewRun("done", "exec").Finish(nil)
+
+	decode := func(body string) map[string]int64 {
+		t.Helper()
+		var health struct {
+			Runs map[string]int64 `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(body), &health); err != nil {
+			t.Fatalf("/healthz not JSON: %v", err)
+		}
+		return health.Runs
+	}
+
+	_, body := get(t, NewMux(reg), "/healthz")
+	runs := decode(body)
+	if runs["active"] != 1 || runs["finished"] != 1 {
+		t.Fatalf("registry counts = %v, want active=1 finished=1", runs)
+	}
+
+	// An injected health source replaces the registry counts wholesale.
+	health := func() map[string]int64 {
+		return map[string]int64{"jobs_tracked": 7, "jobs_running": 2}
+	}
+	_, body = get(t, NewMuxHealth(reg, health), "/healthz")
+	runs = decode(body)
+	if runs["jobs_tracked"] != 7 || runs["jobs_running"] != 2 {
+		t.Fatalf("injected counts = %v", runs)
+	}
+}
+
 // TestShutdownDrainsInflight pins the graceful path: Shutdown refuses new
 // connections but lets an in-flight request finish.
 func TestShutdownDrainsInflight(t *testing.T) {

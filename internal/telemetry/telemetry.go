@@ -229,3 +229,22 @@ func (g *Registry) Runs() []*Run {
 	g.prune()
 	return append([]*Run(nil), g.runs...)
 }
+
+// Counts reports how many registered runs are live versus finished (after
+// retention pruning) — the /healthz liveness payload.
+func (g *Registry) Counts() (active, finished int64) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.prune()
+	for _, r := range g.runs {
+		if r.finished() {
+			finished++
+		} else {
+			active++
+		}
+	}
+	return active, finished
+}

@@ -47,14 +47,45 @@ echo "== service admission race pin =="
 go test -race -count=3 -run 'TestQueueOverflowRejects429|TestTenantThrottle|TestCancelQueuedJob|TestEviction|TestSubmitAfterCloseRejectsShutdown' \
     ./internal/serve/
 
+echo "== flight-recorder race pin =="
+# Concurrent /debug/flight dumps race live span recording and job traffic;
+# the full-suite -race run exercises the interleaving only once.
+go test -race -count=3 -run 'TestFlightDumpDuringActiveRuns|TestFlightConcurrentDump' \
+    ./internal/serve/ ./internal/obs/
+
 echo "== service load smoke =="
 # End-to-end over a real socket: concurrent submissions across both
 # admission paths with mid-flight cancels. The binary exits nonzero unless
 # every admitted job reaches a terminal state, the admission ledger
 # reconciles (submitted == admitted + rejected per tenant), overflow comes
-# back as 429, and the goroutine count returns to its pre-service baseline
-# after the graceful drain.
-go run ./cmd/dfserve -smoke 48 -offload 1000
+# back as 429, the /metrics exposition passes the Prometheus text-format
+# lint, the SLO verdict reads clean, and the goroutine count returns to its
+# pre-service baseline after the graceful drain.
+go run ./cmd/dfserve -smoke 48 -offload 1000 >/tmp/dfserve-smoke.log 2>&1 || {
+    cat /tmp/dfserve-smoke.log
+    exit 1
+}
+grep -E 'exposition lint ok|slo:|smoke:' /tmp/dfserve-smoke.log
+grep -q '^slo: ok$' /tmp/dfserve-smoke.log || {
+    echo "service smoke: clean run did not report 'slo: ok'" >&2
+    exit 1
+}
+
+echo "== SLO burn smoke =="
+# The degraded path on a real socket: a starved pool with an unmeetable
+# queue-wait objective must trip the greppable burn verdict, and the
+# flight recorder must hold the offending span trees (dfserve -saturate
+# exits nonzero itself if /debug/flight comes back empty).
+go run ./cmd/dfserve -smoke 24 -saturate >/tmp/dfserve-burn.log 2>&1 || {
+    cat /tmp/dfserve-burn.log
+    exit 1
+}
+grep -E 'slo: burning|debug/flight' /tmp/dfserve-burn.log
+grep -q 'slo: burning' /tmp/dfserve-burn.log || {
+    echo "SLO burn smoke: saturated run did not report 'slo: burning'" >&2
+    exit 1
+}
+rm -f /tmp/dfserve-smoke.log /tmp/dfserve-burn.log
 
 echo "== sharded engine determinism smoke =="
 # The contract is byte-identical output for any worker count: run dfsim
