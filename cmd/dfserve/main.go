@@ -21,6 +21,8 @@
 //	-keep N           terminal jobs retained per tenant (default 64)
 //	-max-cycles N     hard per-job simulation cycle cap
 //	-job-timeout D    per-job wall-clock bound (e.g. 30s; 0 = none)
+//	-cache-entries N  artifact-cache capacity in compiled programs (0 disables the cache)
+//	-cache-bytes N    artifact-cache byte budget (default 256 MiB)
 //	-smoke N          run the self-contained N-job load test and exit
 //	-saturate         with -smoke: starve the pool so queue-wait SLOs burn
 //	-version          print version and build info, then exit
@@ -46,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"staticpipe/internal/artifact"
 	"staticpipe/internal/buildinfo"
 	"staticpipe/internal/obs"
 	"staticpipe/internal/serve"
@@ -64,6 +67,8 @@ func main() {
 		keep       = flag.Int("keep", 64, "terminal jobs retained per tenant")
 		maxCycles  = flag.Int("max-cycles", 0, "per-job simulation cycle cap (0 = default)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock bound (0 = none)")
+		cacheEnt   = flag.Int("cache-entries", 256, "artifact-cache capacity in compiled programs (0 disables)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "artifact-cache byte budget")
 		smokeN     = flag.Int("smoke", 0, "run the self-contained N-job load test and exit")
 		saturate   = flag.Bool("saturate", false, "with -smoke: starve the pool so queue-wait SLOs burn")
 		version    = flag.Bool("version", false, "print version and build info")
@@ -91,6 +96,9 @@ func main() {
 		JobTimeout:       *jobTimeout,
 		Flight:           flight,
 		SLO:              slo,
+	}
+	if *cacheEnt > 0 {
+		cfg.Cache = artifact.New(artifact.Config{MaxEntries: *cacheEnt, MaxBytes: *cacheBytes})
 	}
 
 	if *smokeN > 0 {

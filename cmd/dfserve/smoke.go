@@ -190,6 +190,25 @@ func smoke(n int, cfg serve.Config, saturate bool) error {
 	}
 	fmt.Println("smoke: /metrics exposition lint ok")
 
+	// The artifact-cache line is greppable too: the smoke submits only two
+	// distinct programs, so once the first compile of each lands everything
+	// else must be served from cache. Coalesced lookups count as served —
+	// the startup burst races n submissions of 2 programs, so most of the
+	// non-compiling lookups coalesce onto the two in-flight compiles rather
+	// than hitting a resident entry.
+	if cfg.Cache != nil {
+		st := cfg.Cache.Stats()
+		lookups := st.Hits + st.Misses + st.Coalesced
+		served := st.Hits + st.Coalesced
+		ratePct := 0.0
+		if lookups > 0 {
+			ratePct = 100 * float64(served) / float64(lookups)
+		}
+		fmt.Printf("cache: %d lookups, %d hits, %d coalesced, %d misses, hit rate %.0f%%, %.1fms compile saved\n",
+			lookups, st.Hits, st.Coalesced, st.Misses, ratePct,
+			float64(st.CompileSaved.Microseconds())/1000)
+	}
+
 	// The SLO verdict is the greppable health line: ci.sh greps for
 	// "slo: ok" on the clean run and "slo: burning" on the saturated one.
 	verdict := cfg.SLO.Verdict()

@@ -25,6 +25,8 @@
 //	-todd          use Todd's for-iter scheme
 //	-no-balance    skip balancing
 //	-verify        cross-check against the reference interpreter
+//	-cache         route compiles through a process-local artifact cache
+//	               (-verify's second compile becomes a hit); stats to stderr
 //	-trace FILE    write a Chrome trace-event JSON file (Perfetto-loadable)
 //	-metrics       print per-cell/per-unit metrics after the run
 //	-http ADDR     serve live telemetry (/metrics, /runs, /healthz, pprof)
@@ -38,6 +40,7 @@ import (
 	"os"
 	"sort"
 
+	"staticpipe/internal/artifact"
 	"staticpipe/internal/buildinfo"
 	"staticpipe/internal/core"
 	"staticpipe/internal/exec"
@@ -66,6 +69,7 @@ func main() {
 		todd      = flag.Bool("todd", false, "Todd's for-iter scheme")
 		noBal     = flag.Bool("no-balance", false, "skip balancing")
 		verify    = flag.Bool("verify", false, "cross-check against the interpreter")
+		useCache  = flag.Bool("cache", false, "route compiles through a process-local artifact cache; stats to stderr")
 		graphFile = flag.Bool("graph", false, "the argument is a serialized instruction graph (dfc -emit), not Val source")
 		waterfall = flag.Bool("waterfall", false, "print a cell-by-cycle firing chart (use small inputs)")
 		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON to this file")
@@ -188,11 +192,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{NoBalance: *noBal, Workers: *workers, Tracer: tracer, Progress: prog, Batch: *batch}
+	// Compile options carry only what shapes the artifact; the run-time
+	// attachments (tracer, progress, workers) bind per run below, so a
+	// cached artifact is shareable between the traced main run and the
+	// tracer-free verify run.
+	opts := core.Options{NoBalance: *noBal, Batch: *batch}
 	if *todd {
 		opts.ForIterScheme = foriter.Todd
 	}
-	u, err := core.Compile(src, opts)
+	bind := core.Binding{Tracer: tracer, Progress: prog, Workers: *workers}
+
+	var cache *artifact.Cache
+	if *useCache {
+		cache = artifact.New(artifact.Config{})
+	}
+	compile := func(o core.Options) (*core.Unit, error) {
+		if cache == nil {
+			return core.Compile(src, o)
+		}
+		art, outcome, err := cache.Get(artifact.KeyFor(src, o, "", 0), func() (*core.Artifact, error) {
+			return core.CompileArtifact(src, o)
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "cache: compile %s\n", outcome)
+		return art.Unit(), nil
+	}
+	defer func() {
+		if cache != nil {
+			st := cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d entries, %.1fms compile saved\n",
+				st.Hits, st.Misses, st.Entries, float64(st.CompileSaved.Microseconds())/1000)
+		}
+	}()
+
+	u, err := compile(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -206,12 +241,12 @@ func main() {
 	}
 
 	if *verify {
-		// Validate runs the graph too; use a tracer-free scalar unit so the
-		// traced run below stays the only one in the event stream.
+		// Validate runs the graph too, with no tracer bound, so the traced
+		// run below stays the only one in the event stream. Under -cache a
+		// scalar main run makes this second compile a hit.
 		vopts := opts
-		vopts.Tracer = nil
 		vopts.Batch = 0
-		vu, err := core.Compile(src, vopts)
+		vu, err := compile(vopts)
 		if err != nil {
 			fatal(err)
 		}
@@ -257,7 +292,7 @@ func main() {
 	}
 
 	if *batch > 1 {
-		res, err := u.RunBatch(inputs, laneFill(inputs, *batch))
+		res, err := u.Artifact().RunBatch(bind, inputs, laneFill(inputs, *batch))
 		if err != nil {
 			fatal(err)
 		}
@@ -274,7 +309,7 @@ func main() {
 		return
 	}
 
-	res, err := u.Run(inputs)
+	res, err := u.Artifact().Run(bind, inputs)
 	if err != nil {
 		fatal(err)
 	}

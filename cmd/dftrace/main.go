@@ -208,11 +208,12 @@ func main() {
 		fmt.Print(machine.Describe(res))
 		ran = res.Graph
 	} else {
+		var bind core.Binding
 		if spanTree != nil {
 			runSpan = spanTree.Root().Child(obs.KindRun, "exec")
-			u.Bind(obs.WithSpan(context.Background(), runSpan), nil, 0, 0)
+			bind.Ctx = obs.WithSpan(context.Background(), runSpan)
 		}
-		res, err := u.Run(inputs)
+		res, err := u.Artifact().Run(bind, inputs)
 		if err != nil {
 			fatal(err)
 		}

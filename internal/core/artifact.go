@@ -1,0 +1,338 @@
+// Compiled-artifact half of the core API: an Artifact is the immutable
+// product of one compilation — shareable across goroutines and cacheable by
+// content hash — while a Binding carries the cheap per-run attachments
+// (context, progress counters, worker count) that used to be smuggled in by
+// mutating the Unit. Splitting the two is what makes a content-addressed
+// compile cache sound: a cache hit hands out the same Artifact to N
+// concurrent jobs, and nothing on the run path writes it.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"staticpipe/internal/exec"
+	"staticpipe/internal/machine"
+	"staticpipe/internal/obs"
+	"staticpipe/internal/passes"
+	"staticpipe/internal/pe"
+	"staticpipe/internal/pipestruct"
+	"staticpipe/internal/place"
+	"staticpipe/internal/trace"
+	"staticpipe/internal/val"
+	"staticpipe/internal/value"
+)
+
+// Artifact is an immutable compiled pipe-structured program: parsed,
+// checked, compiled through the pass pipeline, and prepared (validated +
+// FIFO-expanded) for the firing-rule simulator. After CompileArtifact
+// returns, nothing mutates an Artifact — concurrent Run/RunBatch calls with
+// different Bindings and inputs are safe, which is the contract the
+// artifact cache depends on.
+type Artifact struct {
+	Source   string
+	Checked  *val.Checked
+	Compiled *pipestruct.Result
+	// Cells and Arcs are the compiled graph's static shape, captured once
+	// so admission-time cost estimation on a cache hit touches no graph.
+	Cells int
+	Arcs  int
+	// CompileWall is the wall-clock cost of producing this artifact
+	// (parse + check + passes + exec.Prepare); the cache credits it to its
+	// compile-seconds-saved counter on every hit.
+	CompileWall time.Duration
+
+	opts     Options
+	prepared *exec.Prepared
+
+	// The machine-model preparation is lazy: exec-only traffic never pays
+	// the second FIFO expansion.
+	machOnce sync.Once
+	mach     *machine.Prepared
+	machErr  error
+
+	// Placement plans are deterministic per (graph, PE count), so they are
+	// memoized here: a cache-hit job skips the min-cost-flow solve too.
+	planMu sync.Mutex
+	plans  map[int]*place.Placement
+}
+
+// Binding is the per-run attachment set for an Artifact run: everything
+// that varies job to job while the compiled program stays fixed. Zero
+// values fall back to the artifact's compile-time Options, so Binding{}
+// reproduces the legacy Unit behavior exactly.
+type Binding struct {
+	// Ctx cancels the run early (see exec.Options.Ctx); it also carries the
+	// obs.Span the run annotates.
+	Ctx context.Context
+	// Progress receives live cycle/arrival counters (see
+	// exec.Options.Progress).
+	Progress *trace.Progress
+	// Tracer receives the run's observability event stream.
+	Tracer trace.Tracer
+	// Workers selects the sharded engine for this run.
+	Workers int
+	// MaxCycles bounds this run.
+	MaxCycles int
+	// Batch widens this run to B lanes (Run only; RunBatch requires the
+	// artifact's or binding's Batch > 1).
+	Batch int
+}
+
+// CompileArtifact parses, checks, and compiles a pipe-structured Val
+// program into an immutable, concurrency-safe artifact. Compile remains as
+// the legacy single-goroutine wrapper around this.
+func CompileArtifact(src string, opts Options) (*Artifact, error) {
+	start := time.Now()
+	prog, err := val.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := val.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	popts := pipestruct.Options{
+		ForallScheme:  opts.ForallScheme,
+		ForIterScheme: opts.ForIterScheme,
+		PE:            pe.Options{LiteralControl: opts.LiteralControl, ArmSlack: opts.ArmSlack},
+		NoBalance:     opts.NoBalance,
+		NaiveBalance:  opts.NaiveBalance,
+		Dedup:         opts.Dedup,
+		VerifyEach:    opts.VerifyEach,
+		Snapshot:      opts.Snapshot,
+	}
+	if opts.Passes != "" {
+		pl, err := passes.Parse(opts.Passes)
+		if err != nil {
+			return nil, err
+		}
+		if pl == nil {
+			pl = []passes.Pass{} // explicit empty pipeline, not legacy fallback
+		}
+		popts.Passes = pl
+	}
+	compiled, err := pipestruct.Compile(checked, popts)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range compiled.PassStats {
+		recordPhase(opts.Tracer, trace.PhaseStat{
+			Name: s.Name, Wall: s.Wall,
+			CellsBefore: s.CellsBefore, CellsAfter: s.CellsAfter,
+			ArcsBefore: s.ArcsBefore, ArcsAfter: s.ArcsAfter,
+		})
+	}
+	prepared, err := exec.Prepare(compiled.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiled graph rejected by simulator: %w", err)
+	}
+	stats := compiled.Graph.ComputeStats()
+	return &Artifact{
+		Source:      src,
+		Checked:     checked,
+		Compiled:    compiled,
+		Cells:       stats.Cells,
+		Arcs:        stats.Arcs,
+		CompileWall: time.Since(start),
+		opts:        opts,
+		prepared:    prepared,
+	}, nil
+}
+
+// Options returns the compile-time options the artifact was built with —
+// the run-relevant fields act as defaults any Binding zero value falls
+// back to.
+func (a *Artifact) Options() Options { return a.opts }
+
+// Unit wraps the artifact in the legacy Unit facade, giving cached
+// artifacts access to the report/validate/reference helpers.
+func (a *Artifact) Unit() *Unit {
+	return &Unit{Source: a.Source, Checked: a.Checked, Compiled: a.Compiled, art: a}
+}
+
+// PassStats returns the per-pass compilation statistics in pipeline order.
+func (a *Artifact) PassStats() []passes.Stat { return a.Compiled.PassStats }
+
+// Machine returns the packet-level simulator's prepared form of the
+// compiled graph, building it on first use (exec-only traffic never pays
+// the machine model's FIFO expansion). The result is memoized and shared.
+func (a *Artifact) Machine() (*machine.Prepared, error) {
+	a.machOnce.Do(func() {
+		a.mach, a.machErr = machine.Prepare(a.Compiled.Graph)
+	})
+	return a.mach, a.machErr
+}
+
+// PlacementPlan returns the contention-aware cell→PE mapping for the given
+// PE count, memoized per count: placement is deterministic per (graph,
+// PEs), so repeat jobs on a cached artifact skip the min-cost solve.
+func (a *Artifact) PlacementPlan(pes int) (*place.Placement, error) {
+	a.planMu.Lock()
+	if pl, ok := a.plans[pes]; ok {
+		a.planMu.Unlock()
+		return pl, nil
+	}
+	a.planMu.Unlock()
+	// Solve outside the lock — plans for distinct PE counts can race
+	// harmlessly (both compute the same deterministic result; first store
+	// wins below and the duplicate is dropped).
+	pl, err := place.Plan(a.Compiled.Graph, place.Options{PEs: pes})
+	if err != nil {
+		return nil, err
+	}
+	a.planMu.Lock()
+	defer a.planMu.Unlock()
+	if prev, ok := a.plans[pes]; ok {
+		return prev, nil
+	}
+	if a.plans == nil {
+		a.plans = map[int]*place.Placement{}
+	}
+	a.plans[pes] = pl
+	return pl, nil
+}
+
+// bindOpts resolves one run's effective options: the binding's fields where
+// set, the artifact's compile-time options otherwise.
+func (a *Artifact) bindOpts(b Binding) Options {
+	o := a.opts
+	if b.Ctx != nil {
+		o.Ctx = b.Ctx
+	}
+	if b.Progress != nil {
+		o.Progress = b.Progress
+	}
+	if b.Tracer != nil {
+		o.Tracer = b.Tracer
+	}
+	if b.Workers > 0 {
+		o.Workers = b.Workers
+	}
+	if b.MaxCycles > 0 {
+		o.MaxCycles = b.MaxCycles
+	}
+	if b.Batch > 0 {
+		o.Batch = b.Batch
+	}
+	return o
+}
+
+// checkInputs validates the binding against the program's declared inputs
+// without touching the graph, then narrows it to exactly the declared
+// names (extra keys are ignored, matching the legacy SetInputs contract).
+func (a *Artifact) checkInputs(inputs map[string][]value.Value) (map[string][]value.Value, error) {
+	if err := a.Compiled.CheckInputs(inputs); err != nil {
+		return nil, err
+	}
+	binds := make(map[string][]value.Value, len(a.Compiled.Inputs))
+	for name := range a.Compiled.Inputs {
+		binds[name] = inputs[name]
+	}
+	return binds, nil
+}
+
+// setGraphAttrs stamps the compiled graph's static shape onto the span
+// carried by ctx, if any.
+func (a *Artifact) setGraphAttrs(ctx context.Context) {
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.Set("cells", int64(a.Cells))
+		sp.Set("arcs", int64(a.Arcs))
+	}
+}
+
+// Run simulates the compiled graph with the given per-run binding and input
+// streams. Unlike the legacy Unit.Run it never writes the graph: inputs
+// travel via exec.Options.Inputs, so any number of goroutines may Run one
+// Artifact concurrently.
+func (a *Artifact) Run(b Binding, inputs map[string][]value.Value) (*RunResult, error) {
+	binds, err := a.checkInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	o := a.bindOpts(b)
+	a.setGraphAttrs(o.Ctx)
+	res, err := a.prepared.Run(exec.Options{
+		MaxCycles: o.MaxCycles, Tracer: o.Tracer, Progress: o.Progress,
+		Workers: o.Workers, Ctx: o.Ctx, Batch: o.Batch, Inputs: binds,
+	})
+	if err != nil {
+		if res != nil {
+			// MaxCycles exhaustion or cancellation: return the partial
+			// RunResult — each output's elements produced so far — so a
+			// canceled run still hands its caller the work already done,
+			// with the stall diagnostics in the wrapped error text.
+			partial := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: res}
+			for name, rng := range a.Compiled.Outputs {
+				partial.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: res.Output(name), Lo2: rng.Lo2, W: rng.Width()}
+			}
+			return partial, fmt.Errorf("%w\n%s", err, exec.Describe(res))
+		}
+		return nil, err
+	}
+	out := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: res}
+	for name, rng := range a.Compiled.Outputs {
+		elems := res.Output(name)
+		if len(elems) != rng.Len() {
+			return nil, fmt.Errorf("core: output %s produced %d of %d elements (pipeline stalled?)\n%s",
+				name, len(elems), rng.Len(), exec.Describe(res))
+		}
+		out.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: elems, Lo2: rng.Lo2, W: rng.Width()}
+	}
+	return out, nil
+}
+
+// RunBatch simulates Batch independent input sets through the compiled
+// graph in a single batched run (see Unit.RunBatch). Like Run it is safe
+// for concurrent use on one shared Artifact.
+func (a *Artifact) RunBatch(bd Binding, inputs map[string][]value.Value, laneInputs []map[string][]value.Value) (*BatchRunResult, error) {
+	o := a.bindOpts(bd)
+	b := o.Batch
+	if b < 2 {
+		return nil, fmt.Errorf("core: RunBatch requires Options.Batch > 1, have %d", b)
+	}
+	for l, li := range laneInputs {
+		for name, vals := range li {
+			if _, ok := a.Compiled.Inputs[name]; !ok {
+				return nil, fmt.Errorf("core: lane %d binds unknown input %s", l, name)
+			}
+			if want := a.Compiled.InputLen(name); len(vals) != want {
+				return nil, fmt.Errorf("core: lane %d input %s has %d elements, want %d", l, name, len(vals), want)
+			}
+		}
+	}
+	binds, err := a.checkInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	a.setGraphAttrs(o.Ctx)
+	res, err := a.prepared.Run(exec.Options{
+		MaxCycles: o.MaxCycles, Tracer: o.Tracer, Progress: o.Progress,
+		Workers: o.Workers, Ctx: o.Ctx, Batch: b, LaneInputs: laneInputs, Inputs: binds,
+	})
+	if err != nil && res == nil {
+		return nil, err
+	}
+	out := &BatchRunResult{Exec: res, Lanes: make([]*RunResult, b)}
+	for l := 0; l < b; l++ {
+		lexec := res.Lane(l)
+		rr := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: lexec}
+		for name, rng := range a.Compiled.Outputs {
+			elems := lexec.Output(name)
+			if err == nil && len(elems) != rng.Len() {
+				return nil, fmt.Errorf("core: lane %d output %s produced %d of %d elements (pipeline stalled?)\n%s",
+					l, name, len(elems), rng.Len(), exec.Describe(lexec))
+			}
+			rr.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: elems, Lo2: rng.Lo2, W: rng.Width()}
+		}
+		out.Lanes[l] = rr
+	}
+	if err != nil {
+		// MaxCycles exhaustion or cancellation: hand back every lane's
+		// partial view alongside the wrapped error.
+		return out, fmt.Errorf("%w\n%s", err, exec.Describe(res))
+	}
+	return out, nil
+}

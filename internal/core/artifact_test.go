@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"staticpipe/internal/exec"
+	"staticpipe/internal/machine"
+	"staticpipe/internal/value"
+)
+
+// execView is the comparable slice of an exec result: everything a caller
+// can observe about what a run computed, excluding per-shard accounting
+// (which legitimately varies with the worker count) and the simulated
+// graph pointer.
+type execView struct {
+	Cycles   int
+	Firings  []int
+	Outputs  map[string][]value.Value
+	Arrivals map[string][]exec.Arrival
+	Clean    bool
+	Stalled  []string
+}
+
+func viewOf(res *exec.Result) execView {
+	return execView{
+		Cycles:   res.Cycles,
+		Firings:  res.Firings,
+		Outputs:  res.Outputs,
+		Arrivals: res.Arrivals,
+		Clean:    res.Clean,
+		Stalled:  res.Stalled,
+	}
+}
+
+// machView is the comparable slice of a machine result.
+type machView struct {
+	Cycles       int
+	Outputs      map[string][]value.Value
+	Arrivals     map[string][]exec.Arrival
+	Packets      map[string]int
+	AMPackets    int
+	TotalPackets int
+	PEBusy       []int
+	FUBusy       []int
+	Clean        bool
+	Stalled      []string
+}
+
+func machViewOf(res *machine.Result) machView {
+	return machView{
+		Cycles:       res.Cycles,
+		Outputs:      res.Outputs,
+		Arrivals:     res.Arrivals,
+		Packets:      res.Packets,
+		AMPackets:    res.AMPackets,
+		TotalPackets: res.TotalPackets,
+		PEBusy:       res.PEBusy,
+		FUBusy:       res.FUBusy,
+		Clean:        res.Clean,
+		Stalled:      res.Stalled,
+	}
+}
+
+// TestUnitBindRemoved pins the removal of the shared-mutation hazard: a
+// Unit no longer exposes Bind (which wrote run state into the shared
+// compiled object). Per-run state travels in a core.Binding passed to
+// Artifact.Run/RunBatch; the compiled artifact itself is never written.
+func TestUnitBindRemoved(t *testing.T) {
+	if _, ok := reflect.TypeOf(&Unit{}).MethodByName("Bind"); ok {
+		t.Fatal("Unit.Bind is back: per-run state must travel in core.Binding, not mutate the shared unit")
+	}
+}
+
+// TestSharedArtifactConcurrentRuns pins the artifact-cache sharing
+// contract under the race detector: one compiled artifact, run from 8
+// goroutines concurrently on both engines with mixed worker counts, must
+// produce the same bytes every time and never race. This is exactly what a
+// cache hit does — several admitted jobs execute one resident artifact at
+// once.
+func TestSharedArtifactConcurrentRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	src, inputs := randomProgram(rng, 8)
+	art, err := CompileArtifact(src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	ref, err := art.Run(Binding{}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := art.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mref, err := mp.Run(machine.Config{PEs: 4, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, iters = 8, 4
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				w := 1 + (g+it)%4
+				if g%2 == 0 {
+					res, err := art.Run(Binding{Workers: w}, inputs)
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d: exec w=%d: %v", g, w, err)
+						return
+					}
+					if !reflect.DeepEqual(viewOf(res.Exec), viewOf(ref.Exec)) {
+						errs <- fmt.Errorf("goroutine %d: exec w=%d diverged from reference", g, w)
+						return
+					}
+				} else {
+					res, err := mp.Run(machine.Config{PEs: 4, Workers: w, Inputs: inputs})
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d: machine w=%d: %v", g, w, err)
+						return
+					}
+					if !reflect.DeepEqual(machViewOf(res), machViewOf(mref)) {
+						errs <- fmt.Errorf("goroutine %d: machine w=%d diverged from reference", g, w)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCachedVsFreshDifferential is the identity contract of the artifact
+// cache: a run over a shared (cache-hit) artifact — including repeat runs
+// that reuse pooled simulator state — must be byte-identical to a fresh
+// compile-and-run of the same source, across random programs, both worker
+// counts of the sweep, scalar and batched execution, and every placement
+// strategy of the packet-level machine.
+func TestCachedVsFreshDifferential(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(31415))
+	for trial := 0; trial < trials; trial++ {
+		src, inputs := randomProgram(rng, 6+rng.Intn(6))
+
+		// Scalar sweep: fresh artifact vs shared artifact run repeatedly
+		// (second and later runs draw pooled state) vs the legacy Unit
+		// facade, at Workers 1 and 4.
+		fresh, err := CompileArtifact(src, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		shared, err := CompileArtifact(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := Compile(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			bind := Binding{Workers: w}
+			want, err := fresh.Run(bind, inputs)
+			if err != nil {
+				t.Fatalf("trial %d w=%d: fresh: %v", trial, w, err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				got, err := shared.Run(bind, inputs)
+				if err != nil {
+					t.Fatalf("trial %d w=%d rep %d: shared: %v", trial, w, rep, err)
+				}
+				if !reflect.DeepEqual(viewOf(got.Exec), viewOf(want.Exec)) {
+					t.Fatalf("trial %d w=%d rep %d: shared artifact diverged from fresh compile\n%s",
+						trial, w, rep, src)
+				}
+			}
+			lres, err := legacy.art.Run(bind, inputs)
+			if err != nil {
+				t.Fatalf("trial %d w=%d: legacy: %v", trial, w, err)
+			}
+			if !reflect.DeepEqual(viewOf(lres.Exec), viewOf(want.Exec)) {
+				t.Fatalf("trial %d w=%d: legacy unit diverged from fresh compile", trial, w)
+			}
+		}
+
+		// Batched sweep: the batch width is part of the cache key, so a
+		// batched hit reuses an artifact compiled with the same width.
+		bfresh, err := CompileArtifact(src, Options{Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bshared, err := CompileArtifact(src, Options{Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bwant, err := bfresh.RunBatch(Binding{}, inputs, nil)
+		if err != nil {
+			t.Fatalf("trial %d: fresh batch: %v", trial, err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			bgot, err := bshared.RunBatch(Binding{}, inputs, nil)
+			if err != nil {
+				t.Fatalf("trial %d rep %d: shared batch: %v", trial, rep, err)
+			}
+			if len(bgot.Lanes) != len(bwant.Lanes) {
+				t.Fatalf("trial %d: lane count %d vs %d", trial, len(bgot.Lanes), len(bwant.Lanes))
+			}
+			for l := range bgot.Lanes {
+				if !reflect.DeepEqual(viewOf(bgot.Lanes[l].Exec), viewOf(bwant.Lanes[l].Exec)) {
+					t.Fatalf("trial %d rep %d: batched lane %d diverged", trial, rep, l)
+				}
+			}
+		}
+
+		// Machine sweep: the lazily built machine preparation and the
+		// memoized placement plan must not change what a run computes —
+		// every placement strategy, fresh vs shared, byte-identical.
+		const pes = 4
+		pl, err := fresh.PlacementPlan(pes)
+		if err != nil {
+			t.Fatalf("trial %d: plan: %v", trial, err)
+		}
+		spl, err := shared.PlacementPlan(pes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := machine.Config{PEs: pes, FUs: 2, AMs: 2, Inputs: inputs}
+		variants := []struct {
+			name   string
+			assign machine.Assignment
+			placed []int
+		}{
+			{"bystage", machine.ByStage, nil},
+			{"hotspot", machine.HotSpot, nil},
+			{"mincost", machine.Placed, pl.PE},
+			{"mincost-shared", machine.Placed, spl.PE},
+		}
+		fmp, err := fresh.Machine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		smp, err := shared.Machine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range variants {
+			cfg := base
+			cfg.Assign = v.assign
+			cfg.Placement = v.placed
+			want, err := fmp.Run(cfg)
+			if err != nil {
+				t.Fatalf("trial %d %s: fresh machine: %v", trial, v.name, err)
+			}
+			for _, w := range []int{1, 4} {
+				wcfg := cfg
+				wcfg.Workers = w
+				got, err := smp.Run(wcfg)
+				if err != nil {
+					t.Fatalf("trial %d %s w=%d: shared machine: %v", trial, v.name, w, err)
+				}
+				if !reflect.DeepEqual(machViewOf(got), machViewOf(want)) {
+					t.Fatalf("trial %d %s w=%d: shared machine diverged from fresh", trial, v.name, w)
+				}
+			}
+		}
+	}
+}

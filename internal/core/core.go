@@ -15,9 +15,7 @@ import (
 	"staticpipe/internal/foriter"
 	"staticpipe/internal/graph"
 	"staticpipe/internal/mcm"
-	"staticpipe/internal/obs"
 	"staticpipe/internal/passes"
-	"staticpipe/internal/pe"
 	"staticpipe/internal/pipestruct"
 	"staticpipe/internal/trace"
 	"staticpipe/internal/val"
@@ -88,57 +86,29 @@ type Options struct {
 	Ctx context.Context
 }
 
-// Unit is a compiled pipe-structured program.
+// Unit is a compiled pipe-structured program — the legacy single-goroutine
+// facade over an immutable Artifact. New code (and any code sharing one
+// compilation across goroutines, e.g. through the artifact cache) should
+// use Artifact and per-run Bindings directly; Unit remains for the
+// command-line tools' compile-once-run-once shape.
 type Unit struct {
 	Source   string
 	Checked  *val.Checked
 	Compiled *pipestruct.Result
-	opts     Options
+	art      *Artifact
 }
 
 // Compile parses, checks, and compiles a pipe-structured Val program.
 func Compile(src string, opts Options) (*Unit, error) {
-	prog, err := val.Parse(src)
+	art, err := CompileArtifact(src, opts)
 	if err != nil {
 		return nil, err
 	}
-	checked, err := val.Check(prog)
-	if err != nil {
-		return nil, err
-	}
-	popts := pipestruct.Options{
-		ForallScheme:  opts.ForallScheme,
-		ForIterScheme: opts.ForIterScheme,
-		PE:            pe.Options{LiteralControl: opts.LiteralControl, ArmSlack: opts.ArmSlack},
-		NoBalance:     opts.NoBalance,
-		NaiveBalance:  opts.NaiveBalance,
-		Dedup:         opts.Dedup,
-		VerifyEach:    opts.VerifyEach,
-		Snapshot:      opts.Snapshot,
-	}
-	if opts.Passes != "" {
-		pl, err := passes.Parse(opts.Passes)
-		if err != nil {
-			return nil, err
-		}
-		if pl == nil {
-			pl = []passes.Pass{} // explicit empty pipeline, not legacy fallback
-		}
-		popts.Passes = pl
-	}
-	compiled, err := pipestruct.Compile(checked, popts)
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range compiled.PassStats {
-		recordPhase(opts.Tracer, trace.PhaseStat{
-			Name: s.Name, Wall: s.Wall,
-			CellsBefore: s.CellsBefore, CellsAfter: s.CellsAfter,
-			ArcsBefore: s.ArcsBefore, ArcsAfter: s.ArcsAfter,
-		})
-	}
-	return &Unit{Source: src, Checked: checked, Compiled: compiled, opts: opts}, nil
+	return &Unit{Source: src, Checked: art.Checked, Compiled: art.Compiled, art: art}, nil
 }
+
+// Artifact returns the immutable compiled artifact backing this unit.
+func (u *Unit) Artifact() *Artifact { return u.art }
 
 // phaseRecorder is the optional sink capability for compile-phase records:
 // trace.Metrics and trace.Live both implement it.
@@ -162,38 +132,6 @@ func recordPhase(t trace.Tracer, p trace.PhaseStat) {
 // graph sizes) in pipeline order.
 func (u *Unit) PassStats() []passes.Stat { return u.Compiled.PassStats }
 
-// Bind attaches per-run execution state — cancellation context, live
-// progress counter, sharded-engine worker count, cycle bound — overriding
-// the compile-time Options for subsequent Runs. The service layer compiles
-// a unit at admission but only learns its runtime attachments (the job's
-// context, the registered telemetry run's counters) when a worker picks the
-// job up; Bind is that late-binding point. Units run one job at a time, so
-// rebinding between runs is safe; zero values keep the compile-time choice.
-func (u *Unit) Bind(ctx context.Context, prog *trace.Progress, workers, maxCycles int) {
-	if ctx != nil {
-		u.opts.Ctx = ctx
-	}
-	if prog != nil {
-		u.opts.Progress = prog
-	}
-	if workers > 0 {
-		u.opts.Workers = workers
-	}
-	if maxCycles > 0 {
-		u.opts.MaxCycles = maxCycles
-	}
-}
-
-// setGraphAttrs stamps the compiled graph's static shape onto the span
-// carried by the bound context, if any — the run span then reads
-// "cells=N arcs=M" before the simulator adds its outcome.
-func (u *Unit) setGraphAttrs() {
-	if sp := obs.SpanFrom(u.opts.Ctx); sp != nil {
-		sp.Set("cells", int64(u.Compiled.Graph.NumNodes()))
-		sp.Set("arcs", int64(u.Compiled.Graph.NumArcs()))
-	}
-}
-
 // RunResult holds a machine-level run's outcome.
 type RunResult struct {
 	// Outputs holds each output array (with its declared index range).
@@ -207,41 +145,11 @@ type RunResult struct {
 // output.
 func (r *RunResult) II(name string) float64 { return r.Exec.II(name) }
 
-// Run binds the input streams and simulates the compiled graph. Units are
-// not safe for concurrent runs (input streams bind to the shared graph).
+// Run simulates the compiled graph on the given input streams with the
+// compile-time options as the binding (the graph itself is never written —
+// inputs travel with the run).
 func (u *Unit) Run(inputs map[string][]value.Value) (*RunResult, error) {
-	if err := u.Compiled.SetInputs(inputs); err != nil {
-		return nil, err
-	}
-	u.setGraphAttrs()
-	res, err := exec.Run(u.Compiled.Graph, exec.Options{
-		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
-		Workers: u.opts.Workers, Ctx: u.opts.Ctx, Batch: u.opts.Batch,
-	})
-	if err != nil {
-		if res != nil {
-			// MaxCycles exhaustion or cancellation: return the partial
-			// RunResult — each output's elements produced so far — so a
-			// canceled run still hands its caller the work already done,
-			// with the stall diagnostics in the wrapped error text.
-			partial := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: res}
-			for name, rng := range u.Compiled.Outputs {
-				partial.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: res.Output(name), Lo2: rng.Lo2, W: rng.Width()}
-			}
-			return partial, fmt.Errorf("%w\n%s", err, exec.Describe(res))
-		}
-		return nil, err
-	}
-	out := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: res}
-	for name, rng := range u.Compiled.Outputs {
-		elems := res.Output(name)
-		if len(elems) != rng.Len() {
-			return nil, fmt.Errorf("core: output %s produced %d of %d elements (pipeline stalled?)\n%s",
-				name, len(elems), rng.Len(), exec.Describe(res))
-		}
-		out.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: elems, Lo2: rng.Lo2, W: rng.Width()}
-	}
-	return out, nil
+	return u.art.Run(Binding{}, inputs)
 }
 
 // BatchRunResult holds every lane's view of a batched run.
@@ -260,51 +168,7 @@ type BatchRunResult struct {
 // non-nil, rebinds lane l's named inputs (lane 0's entry is ignored). Every
 // stream must match the program's declared input length.
 func (u *Unit) RunBatch(inputs map[string][]value.Value, laneInputs []map[string][]value.Value) (*BatchRunResult, error) {
-	b := u.opts.Batch
-	if b < 2 {
-		return nil, fmt.Errorf("core: RunBatch requires Options.Batch > 1, have %d", b)
-	}
-	for l, li := range laneInputs {
-		for name, vals := range li {
-			if _, ok := u.Compiled.Inputs[name]; !ok {
-				return nil, fmt.Errorf("core: lane %d binds unknown input %s", l, name)
-			}
-			if want := u.Compiled.InputLen(name); len(vals) != want {
-				return nil, fmt.Errorf("core: lane %d input %s has %d elements, want %d", l, name, len(vals), want)
-			}
-		}
-	}
-	if err := u.Compiled.SetInputs(inputs); err != nil {
-		return nil, err
-	}
-	u.setGraphAttrs()
-	res, err := exec.Run(u.Compiled.Graph, exec.Options{
-		MaxCycles: u.opts.MaxCycles, Tracer: u.opts.Tracer, Progress: u.opts.Progress,
-		Workers: u.opts.Workers, Ctx: u.opts.Ctx, Batch: b, LaneInputs: laneInputs,
-	})
-	if err != nil && res == nil {
-		return nil, err
-	}
-	out := &BatchRunResult{Exec: res, Lanes: make([]*RunResult, b)}
-	for l := 0; l < b; l++ {
-		lexec := res.Lane(l)
-		rr := &RunResult{Outputs: map[string]*val.ArrayVal{}, Exec: lexec}
-		for name, rng := range u.Compiled.Outputs {
-			elems := lexec.Output(name)
-			if err == nil && len(elems) != rng.Len() {
-				return nil, fmt.Errorf("core: lane %d output %s produced %d of %d elements (pipeline stalled?)\n%s",
-					l, name, len(elems), rng.Len(), exec.Describe(lexec))
-			}
-			rr.Outputs[name] = &val.ArrayVal{Lo: rng.Lo, Elems: elems, Lo2: rng.Lo2, W: rng.Width()}
-		}
-		out.Lanes[l] = rr
-	}
-	if err != nil {
-		// MaxCycles exhaustion or cancellation: hand back every lane's
-		// partial view alongside the wrapped error.
-		return out, fmt.Errorf("%w\n%s", err, exec.Describe(res))
-	}
-	return out, nil
+	return u.art.RunBatch(Binding{}, inputs, laneInputs)
 }
 
 // Reference evaluates the program with the direct AST interpreter — the

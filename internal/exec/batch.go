@@ -161,12 +161,13 @@ type bsim struct {
 }
 
 // runBatched is the Batch > 1 entry point; g is already validated and
-// FIFO-expanded by Run.
-func runBatched(g *graph.Graph, opt Options, maxCycles, B int) (*Result, error) {
+// FIFO-expanded by Run, and streams carries the per-node resolved base
+// source binding every lane defaults to (see resolveStreams).
+func runBatched(g *graph.Graph, opt Options, streams [][]value.Value, maxCycles, B int) (*Result, error) {
 	if B > MaxBatch {
 		return nil, fmt.Errorf("exec: Batch %d exceeds the %d-lane limit", B, MaxBatch)
 	}
-	s, err := newBsim(g, opt, maxCycles, B)
+	s, err := newBsim(g, opt, streams, maxCycles, B)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +205,7 @@ func runBatched(g *graph.Graph, opt Options, maxCycles, B int) (*Result, error) 
 	return s.assemble(opt)
 }
 
-func newBsim(g *graph.Graph, opt Options, maxCycles, B int) (*bsim, error) {
+func newBsim(g *graph.Graph, opt Options, streams [][]value.Value, maxCycles, B int) (*bsim, error) {
 	if len(opt.LaneInputs) > B {
 		return nil, fmt.Errorf("exec: %d lane input sets for %d lanes", len(opt.LaneInputs), B)
 	}
@@ -283,7 +284,7 @@ func newBsim(g *graph.Graph, opt Options, maxCycles, B int) (*bsim, error) {
 		case graph.OpSource:
 			inst.streams = make([][]value.Value, B)
 			for l := 0; l < B; l++ {
-				inst.streams[l] = n.Stream
+				inst.streams[l] = streams[n.ID]
 				if l > 0 && l < len(opt.LaneInputs) && opt.LaneInputs[l] != nil {
 					if sv, ok := opt.LaneInputs[l][n.Label]; ok {
 						inst.streams[l] = sv

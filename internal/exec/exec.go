@@ -91,9 +91,17 @@ type Options struct {
 	// LaneInputs supplies per-lane source streams for a batched run,
 	// keyed by source-cell label (the declared input name): LaneInputs[l]
 	// feeds lane l. A nil entry, a missing key, and always lane 0 fall
-	// back to the stream bound on the graph. len(LaneInputs) must not
-	// exceed Batch.
+	// back to the base streams (Inputs, or the streams bound on the
+	// graph). len(LaneInputs) must not exceed Batch.
 	LaneInputs []map[string][]value.Value
+	// Inputs, when non-nil, overrides source streams by source-cell label
+	// (the declared input name) for this run only: the compiled graph is
+	// never written, so one graph — in particular one cached Prepared
+	// artifact — can run concurrently with different inputs. A missing
+	// key falls back to the stream bound on the graph; a key naming no
+	// source cell is an error. In a batched run Inputs is the base every
+	// lane defaults to and LaneInputs overrides per lane.
+	Inputs map[string][]value.Value
 }
 
 // CancelCadence is how many simulated cycles pass between polls of
@@ -203,9 +211,10 @@ func (b bitset) reset() {
 // sim is the mutable machine state.
 type sim struct {
 	g       *graph.Graph
-	arcHas  []bool        // token presence per arc ID
-	arcVal  []value.Value // token value per arc ID (meaningful when arcHas)
-	srcPos  []int         // next stream index per node ID (sources/ctlgens)
+	streams [][]value.Value // resolved source stream per node ID (see resolveStreams)
+	arcHas  []bool          // token presence per arc ID
+	arcVal  []value.Value   // token value per arc ID (meaningful when arcHas)
+	srcPos  []int           // next stream index per node ID (sources/ctlgens)
 	firings []int
 	outs    map[string][]value.Value
 	arrs    map[string][]Arrival
@@ -250,47 +259,53 @@ type firing struct {
 // has ended — never from inside it — so an attached span cannot perturb
 // outputs, firing order, or cycle counts (see span.go).
 func Run(g *graph.Graph, opt Options) (*Result, error) {
-	res, err := runGraph(g, opt)
+	p, err := Prepare(g)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(opt)
+}
+
+// Run executes the prepared graph. Safe for concurrent use: every call
+// draws its mutable run state from the free-list pool (sequential engine)
+// or builds it fresh (sharded/batched engines); the graph itself is only
+// read. See Options.Inputs for running with per-call input streams.
+func (p *Prepared) Run(opt Options) (*Result, error) {
+	res, err := p.runPrepared(opt)
 	annotateSpan(opt.Ctx, res, err, opt.Workers, opt.Batch)
 	return res, err
 }
 
-func runGraph(g *graph.Graph, opt Options) (*Result, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	g = g.ExpandFIFOs()
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("exec: expanded graph invalid: %w", err)
-	}
+func (p *Prepared) runPrepared(opt Options) (*Result, error) {
+	g := p.g
 	maxCycles := opt.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
 	}
 	if b := opt.Batch; b > 1 {
-		return runBatched(g, opt, maxCycles, b)
+		streams, err := resolveStreams(g, opt.Inputs, nil)
+		if err != nil {
+			return nil, err
+		}
+		return runBatched(g, opt, streams, maxCycles, b)
 	}
 	if w := opt.Workers; w > 1 {
 		if w > g.NumNodes() {
 			w = g.NumNodes()
 		}
 		if w > 1 {
-			return runSharded(g, opt, maxCycles, w)
+			streams, err := resolveStreams(g, opt.Inputs, nil)
+			if err != nil {
+				return nil, err
+			}
+			return runSharded(g, opt, streams, maxCycles, w)
 		}
 	}
-	s := &sim{
-		g:        g,
-		arcHas:   make([]bool, g.NumArcs()),
-		arcVal:   make([]value.Value, g.NumArcs()),
-		srcPos:   make([]int, g.NumNodes()),
-		firings:  make([]int, g.NumNodes()),
-		outs:     map[string][]value.Value{},
-		arrs:     map[string][]Arrival{},
-		trace:    opt.Trace,
-		tr:       opt.Tracer,
-		prog:     opt.Progress,
-		cand:     newBitset(g.NumNodes()),
-		nextCand: newBitset(g.NumNodes()),
+	s := p.getSim(opt)
+	defer p.putSim(s)
+	var err error
+	if s.streams, err = resolveStreams(g, opt.Inputs, s.streams); err != nil {
+		return nil, err
 	}
 	if s.tr != nil {
 		names := make([]string, g.NumNodes())
@@ -315,8 +330,8 @@ func runGraph(g *graph.Graph, opt Options) (*Result, error) {
 			s.outs[n.Label] = nil
 			s.arrs[n.Label] = nil
 		case graph.OpSource:
-			if len(n.Stream) > s.outCap {
-				s.outCap = len(n.Stream)
+			if len(s.streams[n.ID]) > s.outCap {
+				s.outCap = len(s.streams[n.ID])
 			}
 		}
 	}
@@ -450,10 +465,11 @@ func (s *sim) plan(n *graph.Node) (firing, trace.Reason) {
 	// Phase 1: operand availability and result computation.
 	switch n.Op {
 	case graph.OpSource:
-		if s.srcPos[n.ID] >= len(n.Stream) {
+		stream := s.streams[n.ID]
+		if s.srcPos[n.ID] >= len(stream) {
 			return f, trace.ReasonDone
 		}
-		f.out = n.Stream[s.srcPos[n.ID]]
+		f.out = stream[s.srcPos[n.ID]]
 		f.advance = true
 		f.produced = true
 
@@ -743,9 +759,9 @@ func (s *sim) drainState() (bool, []string) {
 	for _, n := range s.g.Nodes() {
 		switch n.Op {
 		case graph.OpSource:
-			if s.srcPos[n.ID] < len(n.Stream) {
+			if stream := s.streams[n.ID]; s.srcPos[n.ID] < len(stream) {
 				stalled = append(stalled, fmt.Sprintf("%s: %d of %d stream values unsent",
-					n.Name(), len(n.Stream)-s.srcPos[n.ID], len(n.Stream)))
+					n.Name(), len(stream)-s.srcPos[n.ID], len(stream)))
 			}
 		case graph.OpCtlGen:
 			if t := n.Pattern.Len(); t >= 0 && s.srcPos[n.ID] < t {

@@ -104,8 +104,10 @@ type shardWorker struct {
 }
 
 // runSharded mirrors the sequential Run loop across asn.P workers. The
-// graph is already FIFO-expanded and validated.
-func runSharded(g *graph.Graph, opt Options, maxCycles, nw int) (*Result, error) {
+// graph is already FIFO-expanded and validated; streams is the per-node
+// resolved source binding (see resolveStreams), shared read-only by every
+// worker.
+func runSharded(g *graph.Graph, opt Options, streams [][]value.Value, maxCycles, nw int) (*Result, error) {
 	asn := partition.Partition(g, nw)
 	nw = asn.P
 	ps := &shardSim{
@@ -148,8 +150,8 @@ func runSharded(g *graph.Graph, opt Options, maxCycles, nw int) (*Result, error)
 			}
 			sinkSeen[n.Label] = true
 		case graph.OpSource:
-			if len(n.Stream) > ps.outCap {
-				ps.outCap = len(n.Stream)
+			if len(streams[n.ID]) > ps.outCap {
+				ps.outCap = len(streams[n.ID])
 			}
 		}
 	}
@@ -186,6 +188,7 @@ func runSharded(g *graph.Graph, opt Options, maxCycles, nw int) (*Result, error)
 			ps: ps,
 			sm: &sim{
 				g:        g,
+				streams:  streams,
 				arcHas:   ps.arcHas,
 				arcVal:   ps.arcVal,
 				srcPos:   ps.srcPos,
@@ -247,7 +250,7 @@ func runSharded(g *graph.Graph, opt Options, maxCycles, nw int) (*Result, error)
 	for i, w := range ps.workers {
 		res.Shards[i] = w.stat
 	}
-	drain := &sim{g: g, arcHas: ps.arcHas, arcVal: ps.arcVal, srcPos: ps.srcPos}
+	drain := &sim{g: g, streams: streams, arcHas: ps.arcHas, arcVal: ps.arcVal, srcPos: ps.srcPos}
 	res.Clean, res.Stalled = drain.drainState()
 	if ps.canceled {
 		return markCanceled(res, ps.endCycle, opt.Ctx)

@@ -62,14 +62,14 @@ func runBatched(g *graph.Graph, cfg Config) (*Result, error) {
 	ms := make([]*machine, b)
 	for l := 0; l < b; l++ {
 		lcfg := cfg
-		var streams map[string][]value.Value
+		streams := cfg.Inputs // the base binding every lane defaults to
 		if l > 0 {
 			lcfg.Tracer = nil // lane 0 owns the event stream
 			if l < len(cfg.LaneInputs) {
-				streams = cfg.LaneInputs[l]
+				streams = mergeStreams(cfg.Inputs, cfg.LaneInputs[l])
 			}
 		}
-		m, err := newMachine(g, lcfg, streams)
+		m, err := newMachine(g, lcfg, streams, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -212,4 +212,24 @@ func runBatched(g *graph.Graph, cfg Config) (*Result, error) {
 		return top, fmt.Errorf("machine: no quiescence after %d cycles (livelock or MaxCycles too small)", cfg.MaxCycles)
 	}
 	return top, nil
+}
+
+// mergeStreams layers a lane's input overrides on top of the run's base
+// binding; the lane wins per label. Either side may be nil, in which case
+// the other passes through unchanged (no copy).
+func mergeStreams(base, lane map[string][]value.Value) map[string][]value.Value {
+	if len(base) == 0 {
+		return lane
+	}
+	if len(lane) == 0 {
+		return base
+	}
+	merged := make(map[string][]value.Value, len(base)+len(lane))
+	for k, v := range base {
+		merged[k] = v
+	}
+	for k, v := range lane {
+		merged[k] = v
+	}
+	return merged
 }

@@ -164,10 +164,18 @@ type Config struct {
 	Batch int
 	// LaneInputs supplies per-lane source streams for a batched run,
 	// keyed by source-cell label: LaneInputs[l] rebinds lane l's sources;
-	// a nil map or a missing key falls back to the stream bound on the
-	// graph. Lane 0 ignores its entry. len(LaneInputs) must not exceed
-	// Batch.
+	// a nil map or a missing key falls back to the base streams (Inputs,
+	// or the streams bound on the graph). Lane 0 ignores its entry.
+	// len(LaneInputs) must not exceed Batch.
 	LaneInputs []map[string][]value.Value
+	// Inputs, when non-nil, overrides source streams by source-cell label
+	// for this run only: the graph is never written, so one graph — in
+	// particular one cached Prepared artifact — can run concurrently with
+	// different inputs. A missing key falls back to the stream bound on
+	// the graph; a key naming no source cell is an error. In a batched
+	// run Inputs is the base every lane defaults to and LaneInputs
+	// overrides per lane.
+	Inputs map[string][]value.Value
 }
 
 func (c Config) withDefaults() Config {
@@ -339,6 +347,7 @@ type machine struct {
 	laneCtr   *trace.LaneCounters // this lane's live counters in a batched run
 	fired     []bool              // per-cell fired-this-cycle scratch (tracing only)
 	canceled  bool                // Config.Ctx fired mid-run (set by the cycle loops)
+	arena     *runArena           // pooled run state on the Prepared path; nil otherwise
 
 	// plan scratch, reused across planCell calls (copied out when a plan's
 	// slices must outlive the call — operation packets ship them to FUs).
@@ -395,14 +404,24 @@ func run(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	g = g.ExpandFIFOs()
+	if err := validateInputs(g, cfg.Inputs); err != nil {
+		return nil, err
+	}
 	if cfg.Batch > 1 {
 		return runBatched(g, cfg)
 	}
-	m, err := newMachine(g, cfg, nil)
+	m, err := newMachine(g, cfg, cfg.Inputs, nil)
 	if err != nil {
 		return nil, err
 	}
+	return m.drive()
+}
 
+// drive is the cycle loop shared by the one-shot and Prepared entry
+// points: it dispatches to the sharded engine or steps the sequential one
+// until quiescence, cancellation, or the cycle bound.
+func (m *machine) drive() (*Result, error) {
+	cfg := m.cfg
 	if w := cfg.Workers; w > 1 {
 		if n := m.numEndpoints(); w > n {
 			w = n
@@ -438,12 +457,37 @@ func run(g *graph.Graph, cfg Config) (*Result, error) {
 	return m.finish(cycle)
 }
 
+// validateInputs rejects Config.Inputs keys that name no source cell —
+// the same contract exec.Options.Inputs enforces, so a mistyped input
+// name fails loudly on either core instead of silently running the
+// graph-bound stream.
+func validateInputs(g *graph.Graph, inputs map[string][]value.Value) error {
+	if len(inputs) == 0 {
+		return nil
+	}
+	srcLabels := make(map[string]bool)
+	for _, n := range g.Nodes() {
+		if n.Op == graph.OpSource {
+			srcLabels[n.Label] = true
+		}
+	}
+	for label := range inputs {
+		if !srcLabels[label] {
+			return fmt.Errorf("machine: input %q names no source cell", label)
+		}
+	}
+	return nil
+}
+
 // newMachine builds and places one machine instance over the validated,
 // FIFO-expanded graph. laneStreams, when non-nil, rebinds source streams by
-// label (a batched lane's inputs); missing labels keep the graph's stream.
-func newMachine(g *graph.Graph, cfg Config, laneStreams map[string][]value.Value) (*machine, error) {
+// label (per-run Config.Inputs or a batched lane's inputs, already merged);
+// missing labels keep the graph's stream. arena, when non-nil, supplies
+// pooled run state (the Prepared path) instead of fresh allocations.
+func newMachine(g *graph.Graph, cfg Config, laneStreams map[string][]value.Value, arena *runArena) (*machine, error) {
 	m := &machine{
 		cfg:       cfg,
+		arena:     arena,
 		g:         g,
 		tr:        cfg.Tracer,
 		prog:      cfg.Progress,
@@ -562,14 +606,36 @@ func (m *machine) meta() trace.Meta {
 // place assigns cells to endpoints: sources and sinks to AMs, everything
 // else per the configured strategy.
 func (m *machine) place() error {
-	m.cells = make([]cell, m.g.NumNodes())
+	if ar := m.arena; ar != nil {
+		// Pooled path: cells and their operand slots are carved out of the
+		// arena's flat arrays instead of allocated per run. The arena was
+		// sized for this exact graph at Prepare time.
+		m.cells = ar.cells[:m.g.NumNodes()]
+		clear(ar.toks)
+		clear(ar.has)
+		off := 0
+		for _, n := range m.g.Nodes() {
+			np := len(n.In)
+			m.cells[n.ID] = cell{
+				node:  n,
+				inTok: ar.toks[off : off+np : off+np],
+				inHas: ar.has[off : off+np : off+np],
+			}
+			off += np
+		}
+	} else {
+		m.cells = make([]cell, m.g.NumNodes())
+		for _, n := range m.g.Nodes() {
+			c := &m.cells[n.ID]
+			c.node = n
+			c.inTok = make([]value.Value, len(n.In))
+			c.inHas = make([]bool, len(n.In))
+		}
+	}
 	var computeIDs []int
 	amNext := 0
 	for _, n := range m.g.Nodes() {
 		c := &m.cells[n.ID]
-		c.node = n
-		c.inTok = make([]value.Value, len(n.In))
-		c.inHas = make([]bool, len(n.In))
 		if n.Op == graph.OpSource || n.Op == graph.OpSink {
 			c.endpoint = m.amEndpoint(amNext % m.cfg.AMs)
 			amNext++

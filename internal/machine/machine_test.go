@@ -5,11 +5,31 @@ import (
 	"math"
 	"testing"
 
-	"staticpipe/internal/core"
 	"staticpipe/internal/exec"
 	"staticpipe/internal/graph"
+	"staticpipe/internal/pipestruct"
+	"staticpipe/internal/val"
 	"staticpipe/internal/value"
 )
+
+// compileVal compiles a Val program straight through the pipestruct layer
+// (this package cannot import core: core's artifacts wrap machine.Prepared).
+func compileVal(t *testing.T, src string) *pipestruct.Result {
+	t.Helper()
+	prog, err := val.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := val.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := pipestruct.Compile(checked, pipestruct.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compiled
+}
 
 // fig2 builds the §3 scalar pipeline over n input pairs.
 func fig2(n int) (*graph.Graph, []float64) {
@@ -158,10 +178,7 @@ func TestPEScalingImprovesThroughput(t *testing.T) {
 func TestAMFraction(t *testing.T) {
 	run := func(src string) float64 {
 		t.Helper()
-		u, err := core.Compile(src, core.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
+		compiled := compileVal(t, src)
 		m := 40
 		B := make([]float64, m+2)
 		C := make([]float64, m+2)
@@ -169,12 +186,12 @@ func TestAMFraction(t *testing.T) {
 			B[i] = 1 + float64(i%3)
 			C[i] = math.Sin(float64(i))
 		}
-		if err := u.Compiled.SetInputs(map[string][]value.Value{
+		if err := compiled.SetInputs(map[string][]value.Value{
 			"B": value.Reals(B), "C": value.Reals(C),
 		}); err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(u.Compiled.Graph, Config{PEs: 8, AMs: 2})
+		res, err := Run(compiled.Graph, Config{PEs: 8, AMs: 2})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -33,6 +33,7 @@ import (
 const (
 	KindJob       = "job"            // root: one client job, submission to terminal state
 	KindAdmission = "admission"      // compile + cost estimate + admission decision
+	KindCache     = "cache.lookup"   // artifact-cache probe inside admission (hit/miss/coalesced)
 	KindQueueWait = "queue.wait"     // admitted to the offload queue until a worker picks it up
 	KindPlacement = "placement.plan" // contention-aware placement planning (dftrace/dfsim -place)
 	KindRun       = "run"            // one simulator execution

@@ -266,6 +266,25 @@ func (r *Result) SetInput(name string, vals []value.Value) error {
 // run's per-lane streams, must match.
 func (r *Result) InputLen(name string) int { return r.inputLen[name] }
 
+// CheckInputs validates a full input binding — every declared input present
+// with its declared length — without writing the graph. This is the
+// admission-time check for shared compiled artifacts: SetInput/SetInputs
+// mutate source cells, so a cached Result must never see them; runs instead
+// pass the checked map through exec.Options.Inputs or machine.Config.Inputs.
+// Keys naming no declared input are ignored, matching SetInputs.
+func (r *Result) CheckInputs(inputs map[string][]value.Value) error {
+	for name := range r.Inputs {
+		vals, ok := inputs[name]
+		if !ok {
+			return fmt.Errorf("pipestruct: missing input %s", name)
+		}
+		if want := r.inputLen[name]; len(vals) != want {
+			return fmt.Errorf("pipestruct: input %s has %d elements, want %d", name, len(vals), want)
+		}
+	}
+	return nil
+}
+
 // SetInputs binds all input streams.
 func (r *Result) SetInputs(inputs map[string][]value.Value) error {
 	for name := range r.Inputs {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"staticpipe/internal/artifact"
 	"staticpipe/internal/core"
 	"staticpipe/internal/exec"
 	"staticpipe/internal/obs"
@@ -82,8 +83,8 @@ func (b *bucket) take(now time.Time, rate float64, burst int) (ok bool, retryAft
 // does not cost B scalar runs: the measured amortization (dfbench E20 on
 // both array kernels) puts a marginal lane at roughly a quarter of a
 // scalar run, and admission bills 1 + (B-1)/4 scalar costs.
-func estimateCost(u *core.Unit, spec Spec) (cost, cells int64) {
-	cells = int64(u.Compiled.Graph.ComputeStats().Cells)
+func estimateCost(art *core.Artifact, spec Spec) (cost, cells int64) {
+	cells = int64(art.Cells)
 	maxLen := 0
 	for _, s := range spec.Inputs {
 		if len(s) > maxLen {
@@ -122,9 +123,11 @@ func streamInputs(in map[string]Stream) map[string][]value.Value {
 }
 
 // resolveSpec validates and normalizes a submission in place. It returns
-// the compiled unit (shared by the fast path and the offload queue) or a
-// client-error rejection.
-func (s *Service) resolveSpec(spec *Spec) (*core.Unit, *Rejection) {
+// the compiled artifact (shared by the fast path, the offload queue, and —
+// through the artifact cache — every other submission of the same content)
+// or a client-error rejection. adm, when non-nil, is the open admission
+// span; a cache-enabled resolve hangs its cache.lookup child off it.
+func (s *Service) resolveSpec(spec *Spec, adm *obs.Span) (*core.Artifact, *Rejection) {
 	switch spec.Model {
 	case "":
 		spec.Model = ModelExec
@@ -162,31 +165,70 @@ func (s *Service) resolveSpec(spec *Spec) (*core.Unit, *Rejection) {
 			Err: fmt.Errorf("%d lane input sets for %d lanes", len(spec.LaneInputs), spec.Batch),
 		}
 	}
-	u, err := core.Compile(spec.Source, core.Options{MaxCycles: spec.MaxCycles, Batch: spec.Batch})
-	if err != nil {
-		return nil, &Rejection{Reason: ReasonInvalid, Status: http.StatusBadRequest, Err: err}
+	// MaxCycles is a run-time bound, not a compile input; it stays out of
+	// both the compile options and the cache key so cycle-bound variants of
+	// one program share an artifact.
+	copts := core.Options{Batch: spec.Batch}
+	art, rej := s.compileSpec(spec.Source, copts, adm)
+	if rej != nil {
+		return nil, rej
 	}
-	// Bind inputs once at admission so name/arity mistakes come back as a
-	// 400, not a failed job. Execution re-binds before running (cheap, and
-	// it keeps runJob self-contained).
-	if err := u.Compiled.SetInputs(streamInputs(spec.Inputs)); err != nil {
+	// Check inputs once at admission so name/arity mistakes come back as a
+	// 400, not a failed job. The check never writes the shared graph;
+	// execution passes the streams with the run.
+	if err := art.Compiled.CheckInputs(streamInputs(spec.Inputs)); err != nil {
 		return nil, &Rejection{Reason: ReasonInvalid, Status: http.StatusBadRequest, Err: err}
 	}
 	// Per-lane rebinds get the same admission-time checking: unknown names
 	// and wrong lengths are a 400, not a failed job.
 	for l, li := range spec.LaneInputs {
 		for name, vals := range li {
-			if _, ok := u.Compiled.Inputs[name]; !ok {
+			if _, ok := art.Compiled.Inputs[name]; !ok {
 				return nil, &Rejection{Reason: ReasonInvalid, Status: http.StatusBadRequest,
 					Err: fmt.Errorf("lane %d binds unknown input %s", l, name)}
 			}
-			if want := u.Compiled.InputLen(name); len(vals) != want {
+			if want := art.Compiled.InputLen(name); len(vals) != want {
 				return nil, &Rejection{Reason: ReasonInvalid, Status: http.StatusBadRequest,
 					Err: fmt.Errorf("lane %d input %s has %d elements, want %d", l, name, len(vals), want)}
 			}
 		}
 	}
-	return u, nil
+	return art, nil
+}
+
+// compileSpec resolves source + options to an artifact, through the
+// content-addressed cache when one is configured. A hit (or a coalesced
+// wait on another submission's in-flight compile) skips parse, check, the
+// pass pipeline, and simulator preparation entirely.
+func (s *Service) compileSpec(src string, copts core.Options, adm *obs.Span) (*core.Artifact, *Rejection) {
+	compile := func() (*core.Artifact, error) { return core.CompileArtifact(src, copts) }
+	var (
+		art *core.Artifact
+		err error
+	)
+	if s.cfg.Cache != nil {
+		key := artifact.KeyFor(src, copts, "", 0)
+		var sp *obs.Span
+		if adm != nil {
+			sp = adm.Child(obs.KindCache, "")
+		}
+		var outcome artifact.Outcome
+		art, outcome, err = s.cfg.Cache.Get(key, compile)
+		if sp != nil {
+			sp.Set("outcome", outcome.String())
+			sp.Set("key", key.Hash()[:12])
+			if err == nil && outcome != artifact.Miss {
+				sp.Set("saved_us", art.CompileWall.Microseconds())
+			}
+			sp.End()
+		}
+	} else {
+		art, err = compile()
+	}
+	if err != nil {
+		return nil, &Rejection{Reason: ReasonInvalid, Status: http.StatusBadRequest, Err: err}
+	}
+	return art, nil
 }
 
 // Submit admits one job. The decision sequence is:
@@ -243,8 +285,8 @@ func (s *Service) Submit(reqCtx context.Context, spec Spec) (*Job, *Rejection) {
 	adm := tree.Root().Child(obs.KindAdmission, "")
 
 	// Compile outside the lock: admission stays responsive while a large
-	// program is compiling.
-	u, rej := s.resolveSpec(&spec)
+	// program is compiling (and a cache hit makes this near-free).
+	art, rej := s.resolveSpec(&spec, adm)
 	if rej != nil {
 		s.mu.Lock()
 		s.rejectLocked(spec.Tenant, rej.Reason)
@@ -252,10 +294,10 @@ func (s *Service) Submit(reqCtx context.Context, spec Spec) (*Job, *Rejection) {
 		return nil, rej
 	}
 
-	cost, cells := estimateCost(u, spec)
+	cost, cells := estimateCost(art, spec)
 	adm.Set("cost", cost)
 	adm.Set("cells", cells)
-	j := s.newJob(spec, u, cost, cells)
+	j := s.newJob(spec, art, cost, cells)
 	j.tree = tree
 	if j.Cost <= s.cfg.OffloadThreshold {
 		// Fast path: the program is small enough that queue latency would

@@ -29,12 +29,12 @@ func TestEstimateCostCountsLaneInputs(t *testing.T) {
 
 	base := spec(p)
 	base.Batch = 2
-	short, cells := estimateCost(u, base)
+	short, cells := estimateCost(u.Artifact(), base)
 
 	const laneLen = 4096
 	long := base
 	long.LaneInputs = []map[string]Stream{nil, {name: value.Reals(make([]float64, laneLen))}}
-	got, _ := estimateCost(u, long)
+	got, _ := estimateCost(u.Artifact(), long)
 
 	want := cells * (2*laneLen + 2*cells + 16) * (2 + 3) / 4
 	if got != want {

@@ -165,8 +165,12 @@ type Job struct {
 	// Model is the resolved simulator model.
 	Model string
 
-	spec    Spec
-	unit    *core.Unit
+	spec Spec
+	// art is the immutable compiled artifact the job runs. On a cache hit
+	// several concurrent jobs share one art; nothing on the execution path
+	// may mutate it (inputs travel with each run via core.Binding and the
+	// cores' per-run input maps).
+	art     *core.Artifact
 	workers int
 	maxCyc  int
 	// cells is the compiled graph's cell count, kept from admission so

@@ -79,6 +79,32 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "staticpipe_serve_cost_ratio_sum %g\n", s.costRatio.sum)
 	fmt.Fprintf(w, "staticpipe_serve_cost_ratio_count %d\n", s.costRatio.count)
 
+	// The artifact cache's counters are atomics; snapshotting them under
+	// s.mu costs nothing and keeps the exposition point-in-time coherent.
+	if c := s.cfg.Cache; c != nil {
+		st := c.Stats()
+		family(w, "staticpipe_cache_hits_total", "counter",
+			"Artifact-cache lookups served from a resident compiled artifact.")
+		fmt.Fprintf(w, "staticpipe_cache_hits_total %d\n", st.Hits)
+		family(w, "staticpipe_cache_misses_total", "counter",
+			"Artifact-cache lookups that compiled (one per singleflight group).")
+		fmt.Fprintf(w, "staticpipe_cache_misses_total %d\n", st.Misses)
+		family(w, "staticpipe_cache_coalesced_total", "counter",
+			"Artifact-cache lookups that waited on another submission's in-flight compile.")
+		fmt.Fprintf(w, "staticpipe_cache_coalesced_total %d\n", st.Coalesced)
+		family(w, "staticpipe_cache_evictions_total", "counter",
+			"Artifacts evicted under the entry or byte budget.")
+		fmt.Fprintf(w, "staticpipe_cache_evictions_total %d\n", st.Evictions)
+		family(w, "staticpipe_cache_entries", "gauge", "Resident compiled artifacts.")
+		fmt.Fprintf(w, "staticpipe_cache_entries %d\n", st.Entries)
+		family(w, "staticpipe_cache_bytes", "gauge",
+			"Estimated resident footprint of cached artifacts.")
+		fmt.Fprintf(w, "staticpipe_cache_bytes %d\n", st.Bytes)
+		family(w, "staticpipe_cache_compile_seconds_saved_total", "counter",
+			"Cumulative compile wall time hits and coalesced waiters did not pay.")
+		fmt.Fprintf(w, "staticpipe_cache_compile_seconds_saved_total %g\n", st.CompileSaved.Seconds())
+	}
+
 	// SLO families ride the same exposition (nil-safe when no engine is
 	// attached). The engine has its own lock; holding s.mu here is fine —
 	// it never calls back into the service.

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"staticpipe/internal/artifact"
 	"staticpipe/internal/core"
 	"staticpipe/internal/exec"
 	"staticpipe/internal/machine"
@@ -88,6 +89,12 @@ type Config struct {
 	// cost_model objective (default 1.5 — underestimates are what break
 	// admission control).
 	SLOCostRatioMax float64
+	// Cache, when non-nil, is the content-addressed compile cache: repeat
+	// submissions of one (source, options) content share its compiled
+	// artifact, concurrent first submissions coalesce onto one compile, and
+	// /metrics grows the staticpipe_cache_* families. Nil compiles every
+	// submission from scratch.
+	Cache *artifact.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -228,14 +235,14 @@ func (s *Service) Config() Config { return s.cfg }
 
 // newJob allocates a job with its cancellation scope rooted in the
 // service (Close's hard phase cancels every in-flight run).
-func (s *Service) newJob(spec Spec, u *core.Unit, cost, cells int64) *Job {
+func (s *Service) newJob(spec Spec, art *core.Artifact, cost, cells int64) *Job {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
 		Tenant:   spec.Tenant,
 		Cost:     cost,
 		Model:    spec.Model,
 		spec:     spec,
-		unit:     u,
+		art:      art,
 		workers:  spec.Workers,
 		maxCyc:   spec.MaxCycles,
 		cells:    cells,
@@ -349,12 +356,15 @@ func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 	var prog = j.prog
 	switch j.Model {
 	case ModelMachine:
-		if err := j.unit.Compiled.SetInputs(inputs); err != nil {
+		// The machine preparation is memoized on the shared artifact, so a
+		// cache-hit machine job skips validation and FIFO expansion too.
+		mp, err := j.art.Machine()
+		if err != nil {
 			return nil, err
 		}
-		mres, err := machine.Run(j.unit.Compiled.Graph, machine.Config{
+		mres, err := mp.Run(machine.Config{
 			MaxCycles: j.maxCyc, Workers: j.workers, Progress: prog, Ctx: ctx,
-			Batch: j.spec.Batch, LaneInputs: laneIn,
+			Batch: j.spec.Batch, LaneInputs: laneIn, Inputs: inputs,
 		})
 		if mres == nil {
 			return nil, err
@@ -363,7 +373,7 @@ func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 			Cycles: mres.Cycles, Clean: mres.Clean, Canceled: mres.Canceled,
 			Stalled: mres.Stalled, Outputs: map[string]Output{}, II: map[string]float64{},
 		}
-		for name, rng := range j.unit.Compiled.Outputs {
+		for name, rng := range j.art.Compiled.Outputs {
 			res.Outputs[name] = Output{Lo: rng.Lo, Lo2: rng.Lo2, W: rng.Width(), Values: mres.Output(name)}
 			res.II[name] = mres.II(name)
 		}
@@ -373,7 +383,7 @@ func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 				lr := &mres.Lanes[l]
 				lv := LaneView{Cycles: lr.Cycles, Clean: lr.Clean, Canceled: lr.Canceled,
 					Outputs: map[string]Output{}}
-				for name, rng := range j.unit.Compiled.Outputs {
+				for name, rng := range j.art.Compiled.Outputs {
 					lv.Outputs[name] = Output{Lo: rng.Lo, Lo2: rng.Lo2, W: rng.Width(), Values: lr.Output(name)}
 				}
 				res.Lanes = append(res.Lanes, lv)
@@ -381,9 +391,12 @@ func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 		}
 		return res, err
 	default: // ModelExec
-		j.unit.Bind(ctx, prog, j.workers, j.maxCyc)
+		// The per-run attachments travel in a Binding; the shared artifact
+		// is never written, so concurrent jobs on one cached artifact are
+		// race-free by construction.
+		bind := core.Binding{Ctx: ctx, Progress: prog, Workers: j.workers, MaxCycles: j.maxCyc}
 		if j.spec.Batch > 1 {
-			br, err := j.unit.RunBatch(inputs, laneIn)
+			br, err := j.art.RunBatch(bind, inputs, laneIn)
 			if br == nil {
 				return nil, err
 			}
@@ -409,7 +422,7 @@ func (s *Service) simulate(j *Job, ctx context.Context) (*JobResult, error) {
 			}
 			return res, err
 		}
-		rr, err := j.unit.Run(inputs)
+		rr, err := j.art.Run(bind, inputs)
 		if rr == nil {
 			return nil, err
 		}

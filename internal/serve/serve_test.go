@@ -420,7 +420,7 @@ func TestCostEstimateOrdering(t *testing.T) {
 		}
 		sp := spec(p)
 		sp.MaxCycles = maxCycles
-		cost, _ := estimateCost(u, sp)
+		cost, _ := estimateCost(u.Artifact(), sp)
 		return cost
 	}
 	small := mk(progs.Fig2(16), exec.DefaultMaxCycles)

@@ -3,6 +3,7 @@ package val
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 )
 
 // Parser is a recursive-descent parser for the Val subset.
@@ -12,8 +13,19 @@ type Parser struct {
 	src  string
 }
 
+// parseCalls counts Parse invocations process-wide. It exists for tests
+// that pin compiler-invocation behavior — e.g. that a throttled service
+// submission never reaches the compiler, or that a cache hit skips it.
+var parseCalls atomic.Int64
+
+// ParseCalls returns the number of Parse invocations so far in this
+// process (a monotonic counter; diff two readings around the operation
+// under test).
+func ParseCalls() int64 { return parseCalls.Load() }
+
 // Parse parses a complete pipe-structured program.
 func Parse(src string) (*Program, error) {
+	parseCalls.Add(1)
 	toks, err := Lex(src)
 	if err != nil {
 		return nil, err

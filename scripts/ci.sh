@@ -65,11 +65,23 @@ go run ./cmd/dfserve -smoke 48 -offload 1000 >/tmp/dfserve-smoke.log 2>&1 || {
     cat /tmp/dfserve-smoke.log
     exit 1
 }
-grep -E 'exposition lint ok|slo:|smoke:' /tmp/dfserve-smoke.log
+grep -E 'exposition lint ok|cache:|slo:|smoke:' /tmp/dfserve-smoke.log
 grep -q '^slo: ok$' /tmp/dfserve-smoke.log || {
     echo "service smoke: clean run did not report 'slo: ok'" >&2
     exit 1
 }
+# The smoke submits only two distinct programs, so the artifact cache must
+# serve nearly everything after the first compile of each: gate the
+# greppable hit-rate line (hits + coalesced over all lookups) at >= 80%.
+rate=$(sed -n 's/^cache: .*hit rate \([0-9]*\)%.*/\1/p' /tmp/dfserve-smoke.log)
+if [ -z "$rate" ]; then
+    echo "service smoke: no artifact-cache line in the smoke output" >&2
+    exit 1
+fi
+if [ "$rate" -lt 80 ]; then
+    echo "service smoke: artifact-cache hit rate $rate% < 80%" >&2
+    exit 1
+fi
 
 echo "== SLO burn smoke =="
 # The degraded path on a real socket: a starved pool with an unmeetable
@@ -168,6 +180,14 @@ echo "== batched engine race pin =="
 # race pass; the full-suite -race run exercises each shape only once.
 go test -race -count=3 -run 'Batch|CancelMidBatch' \
     ./internal/exec/ ./internal/machine/ ./internal/core/ ./internal/serve/
+
+echo "== artifact cache race pin =="
+# The cache's contended paths — singleflight coalescing, LRU/byte
+# eviction, one shared artifact executing from many goroutines over pooled
+# run state — get a dedicated repeated race pass; the full-suite -race run
+# exercises each interleaving only once.
+go test -race -count=3 -run 'Singleflight|CacheEviction|SharedArtifact|Prepared' \
+    ./internal/artifact/ ./internal/core/ ./internal/exec/ ./internal/machine/ ./internal/serve/
 
 echo "== bounded fuzz =="
 go test -run '^$' -fuzz 'FuzzParse$'     -fuzztime 10s ./internal/val/
